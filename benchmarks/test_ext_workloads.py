@@ -1,0 +1,60 @@
+"""Extension benchmark: the equilibrium structure under traffic churn.
+
+Beyond the paper (its §5 names diverse workloads as future work): add
+web-like Poisson short flows on top of the long-flow competition and
+check that the diminishing-returns property — the load-bearing fact for
+the Nash-equilibrium argument — survives.
+"""
+
+import random
+
+from repro.fluidsim import run_fluid
+from repro.util.config import LinkConfig
+from repro.workloads import (
+    long_lived,
+    poisson_short_flows,
+    to_fluid_specs,
+)
+
+N_LONG = 10
+DURATION = 110.0
+
+
+def _sweep_with_churn(seed: int = 9):
+    link = LinkConfig.from_mbps_ms(100, 40, 3)
+    rows = {}
+    for n_bbr in (1, 3, 5, 8):
+        rng = random.Random(seed)
+        workload = (
+            long_lived("cubic", N_LONG - n_bbr)
+            + long_lived("bbr", n_bbr)
+            + poisson_short_flows(
+                "cubic",
+                arrival_rate=2.0,
+                duration=DURATION,
+                mean_size=500_000,
+                rng=rng,
+            )
+        )
+        result = run_fluid(
+            link,
+            to_fluid_specs(workload),
+            duration=DURATION,
+            warmup=20,
+            seed=seed,
+            start_jitter=1.0,
+        )
+        longs = result.flows[:N_LONG]
+        bbr = [f.throughput for f in longs if f.cc == "bbr"]
+        rows[n_bbr] = sum(bbr) / len(bbr)
+    return rows
+
+
+def test_diminishing_returns_survive_short_flow_churn(benchmark):
+    rows = benchmark.pedantic(_sweep_with_churn, rounds=1, iterations=1)
+    values = [rows[k] for k in sorted(rows)]
+    # Monotone decline of per-flow BBR bandwidth, churn notwithstanding.
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # A lone BBR flow still beats fair share despite the churn.
+    fair = 100e6 / 8 / N_LONG
+    assert rows[1] > fair

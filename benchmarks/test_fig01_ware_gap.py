@@ -1,0 +1,34 @@
+"""Figure 1: the Ware et al. model's gap from BBR's actual share.
+
+Paper result: Ware et al. predicts a near-constant ~half-capacity share
+for BBR, while the actual share declines with buffer depth — at least 30%
+error in shallow-to-moderate buffers.
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1(benchmark, scale, save_figure):
+    fig = benchmark.pedantic(
+        figure1, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_figure(fig)
+    ware = fig.get("ware")
+    actual = fig.get("actual")
+
+    # Ware stays in a narrow band near half capacity (25 of 50 Mbps)...
+    deep = [y for x, y in zip(ware.x, ware.y) if x >= 5]
+    assert all(15.0 <= y <= 30.0 for y in deep)
+
+    # ...while the measured share falls well below it in deep buffers.
+    deep_actual = [y for x, y in zip(actual.x, actual.y) if x >= 20]
+    deep_ware = [y for x, y in zip(ware.x, ware.y) if x >= 20]
+    assert sum(deep_actual) < sum(deep_ware)
+
+    # The paper's ≥30% error claim, averaged over the deep half.
+    errors = [
+        abs(w - a) / max(a, 1e-9)
+        for x, w, a in zip(ware.x, ware.y, actual.y)
+        if x >= 10
+    ]
+    assert sum(errors) / len(errors) > 0.30

@@ -1,0 +1,66 @@
+"""Figure 3 (a–d): 2-flow model validation across links and RTTs.
+
+Paper result: the model tracks BBR's measured bandwidth within ~5%
+(the packet-level substrate here: within a handful of percentage points
+of capacity at paper scale), always more accurately than Ware et al.;
+predictions are stable across link speeds and RTTs.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure3
+
+PANELS = [(50, 40), (50, 80), (100, 40), (100, 80)]
+
+
+@pytest.mark.parametrize("capacity_mbps,rtt_ms", PANELS)
+def test_figure3_panel(benchmark, scale, save_figure, capacity_mbps, rtt_ms):
+    fig = benchmark.pedantic(
+        figure3,
+        kwargs={
+            "capacity_mbps": capacity_mbps,
+            "rtt_ms": rtt_ms,
+            "scale": scale,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(fig)
+    model = fig.get("model")
+    ware = fig.get("ware")
+    actual = fig.get("actual")
+    capacity = capacity_mbps
+
+    def total_error(series):
+        return sum(
+            abs(p - a) for p, a in zip(series.y, actual.y)
+        ) / len(actual.y)
+
+    # Who wins: our model beats Ware et al. on mean absolute error.
+    assert total_error(model) < total_error(ware)
+
+    # The model's error stays moderate (quick scale uses 30 s flows; the
+    # paper's 5% needs 120 s averaging — see EXPERIMENTS.md).
+    assert total_error(model) < 0.15 * capacity
+
+    # Shape: BBR's share declines with buffer depth in both model and
+    # measurement (compare the shallow and deep thirds).
+    third = max(len(actual.y) // 3, 1)
+    for series in (model, actual):
+        assert sum(series.y[:third]) > sum(series.y[-third:])
+
+
+def test_figure3_scale_invariance(scale):
+    """The model's BDP-normalized predictions are identical across
+    panels (§3.1's stability observation, checked exactly)."""
+    from repro.core.two_flow import predict_two_flow
+    from repro.util.config import LinkConfig
+
+    for depth in (2, 10, 25):
+        fractions = {
+            predict_two_flow(
+                LinkConfig.from_mbps_ms(c, r, depth)
+            ).bbr_fraction
+            for c, r in PANELS
+        }
+        assert max(fractions) - min(fractions) < 1e-12

@@ -1,0 +1,41 @@
+"""Figure 4 (a–b): multi-flow model validation (5v5 and 10v10).
+
+Paper result: the measured per-flow BBR throughput falls within the
+region between the CUBIC-synchronized and de-synchronized bounds, and
+Ware et al.'s prediction runs near one edge in deep buffers.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure4
+
+
+@pytest.mark.parametrize("n_per_class", [5, 10])
+def test_figure4_panel(benchmark, scale, save_figure, n_per_class):
+    fig = benchmark.pedantic(
+        figure4,
+        kwargs={"n_per_class": n_per_class, "scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(fig)
+    sync = fig.get("sync-bound")
+    desync = fig.get("desync-bound")
+    actual = fig.get("actual")
+    fair = 100.0 / (2 * n_per_class)
+
+    # The bounds are ordered: desync (fuller buffer, more RTT bloat for
+    # BBR) is the upper edge.
+    assert all(d >= s - 1e-9 for d, s in zip(desync.y, sync.y))
+
+    # Containment: the measured mean lies inside (or within 25% of the
+    # region's width + 1 Mbps of) the predicted region at each buffer.
+    inside = 0
+    for s, d, a in zip(sync.y, desync.y, actual.y):
+        slack = 0.25 * (d - s) + 1.0
+        if s - slack <= a <= d + slack:
+            inside += 1
+    assert inside >= 0.7 * len(actual.y)
+
+    # A minority BBR class above fair share in shallow buffers.
+    assert actual.y[0] > fair * 0.9

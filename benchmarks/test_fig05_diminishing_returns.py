@@ -1,0 +1,46 @@
+"""Figure 5 (a–d): diminishing returns for BBR.
+
+Paper result (the paper's central empirical observation): BBR's average
+per-flow bandwidth *decreases* as the proportion of BBR flows at the
+bottleneck increases, eventually falling to — and potentially below —
+the fair share.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5
+
+PANELS = [(10, 3), (20, 3), (10, 10), (20, 10)]
+
+
+@pytest.mark.parametrize("n_flows,buffer_bdp", PANELS)
+def test_figure5_panel(benchmark, scale, save_figure, n_flows, buffer_bdp):
+    fig = benchmark.pedantic(
+        figure5,
+        kwargs={
+            "n_flows": n_flows,
+            "buffer_bdp": buffer_bdp,
+            "scale": scale,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(fig)
+    actual = fig.get("actual")
+    fair = fig.get("fair-share").y[0]
+
+    # Diminishing returns: the measured per-flow BBR bandwidth trends
+    # down (compare first/last halves to tolerate trial noise).
+    half = len(actual.y) // 2
+    first = sum(actual.y[:half]) / half
+    second = sum(actual.y[half:]) / (len(actual.y) - half)
+    assert first > second
+
+    # A small BBR minority is above fair share; at all-BBR it is at fair
+    # share (within noise).
+    assert actual.y[0] > fair
+    assert actual.y[-1] == pytest.approx(fair, rel=0.25)
+
+    # The per-flow advantage must cross (or touch) the fair-share line
+    # somewhere — the existence of point C in Figure 6.
+    assert min(actual.y) <= fair * 1.1

@@ -1,0 +1,56 @@
+"""Figure 7: do other CCAs have the disproportionate-share property?
+
+Paper result: BBR, BBRv2, and PCC Vivace all claim a disproportionately
+large share against CUBIC when their flows are few (→ an NE exists for
+each of them vs CUBIC); Copa obtains *lower* than fair-share throughput
+for every distribution (→ perhaps no interior NE for Copa).
+"""
+
+from repro.core.game import ThroughputTable, ne_existence_conditions
+from repro.experiments.figures import figure7
+
+
+def test_figure7(benchmark, scale, save_figure):
+    fig = benchmark.pedantic(
+        figure7, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_figure(fig)
+    fair = fig.get("fair-share").y[0]
+    n_flows = 10
+    capacity = fair * n_flows
+
+    # §4.2's sufficient conditions, evaluated per algorithm.
+    for algo, expect_ne in (
+        ("bbr", True),
+        ("bbr2", True),
+        ("vivace", True),
+        ("copa", False),
+    ):
+        series = fig.get(algo)
+        lambda_b = [0.0] + list(series.y)
+        lambda_a = [0.0] * (n_flows + 1)  # Condition check ignores A.
+        table = ThroughputTable(
+            n_flows=n_flows, lambda_a=lambda_a, lambda_b=lambda_b
+        )
+        flags = ne_existence_conditions(table, capacity)
+        assert flags["ne_expected"] == expect_ne, (algo, flags)
+
+    # Disproportionate share when few, for the three aggressive CCAs.
+    for algo in ("bbr", "bbr2", "vivace"):
+        series = fig.get(algo)
+        assert series.y[0] > fair, f"{algo} should beat fair share when few"
+
+    # Copa stays below fair share for every mixed distribution.
+    copa = fig.get("copa")
+    assert all(y < fair for y in copa.y[:-1])
+
+    # Diminishing returns for the aggressive CCAs: few-flow share exceeds
+    # the (near-fair) all-X share.
+    for algo in ("bbr", "vivace"):
+        series = fig.get(algo)
+        assert series.y[0] > series.y[-1]
+
+    # BBRv2 is less aggressive than BBR at every mixed distribution.
+    bbr = fig.get("bbr")
+    bbr2 = fig.get("bbr2")
+    assert sum(bbr2.y[:-1]) < sum(bbr.y[:-1])

@@ -1,0 +1,39 @@
+"""Figure 8 (a–b): throughput vs. queuing delay across distributions.
+
+Paper result: throughput differs sharply between CUBIC and BBR and flips
+ordering along the sweep, while the (shared) queuing delay barely changes
+until every flow is BBR — so throughput, not delay, drives switching.
+"""
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, scale, save_figure):
+    fig_a, fig_b = benchmark.pedantic(
+        figure8, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_figure(fig_a)
+    save_figure(fig_b)
+
+    bbr = fig_a.get("bbr")
+    cubic = fig_a.get("cubic")
+    delay = fig_b.get("queuing-delay")
+
+    # Throughput asymmetry: BBR starts well above CUBIC...
+    assert bbr.y[1] > cubic.y[1] * 1.5
+    # ...and the gap shrinks (or flips) as BBR flows multiply.
+    gaps = [
+        b - c
+        for b, c, x in zip(bbr.y, cubic.y, bbr.x)
+        if 0 < x < bbr.x[-1]
+    ]
+    assert gaps[0] > gaps[-1]
+
+    # Queuing delay is nearly flat across mixed distributions: the spread
+    # is small relative to its level (CUBIC keeps the buffer full as long
+    # as any CUBIC flow remains).
+    mixed = delay.y[:-1]
+    assert max(mixed) - min(mixed) < 0.5 * max(mixed)
+
+    # Only the all-BBR point drops the delay meaningfully.
+    assert delay.y[-1] < 0.8 * max(mixed)

@@ -1,0 +1,37 @@
+"""Figure 10: Nash Equilibria among flows with different base RTTs.
+
+Paper result: NE distributions exist in multi-RTT networks too, and the
+flows choosing CUBIC at the NE are always the shortest-RTT flows (CUBIC
+favours short RTTs; BBR favours long RTTs).
+"""
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10(benchmark, scale, save_figure):
+    fig = benchmark.pedantic(
+        figure10, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_figure(fig)
+    total = fig.get("n-cubic-total")
+    short = fig.get("n-cubic-10ms")
+    mid = fig.get("n-cubic-30ms")
+    long_ = fig.get("n-cubic-50ms")
+    group_size = 10 if scale == "full" else 3
+
+    # An NE was found for every buffer depth (series complete).
+    assert len(total.y) == len(total.x)
+
+    # Short-RTT-first composition: wherever any flows run CUBIC at the
+    # NE, the shortest-RTT group has at least as many CUBIC flows as the
+    # mid group, which has at least as many as the longest-RTT group.
+    for s, m, l, t in zip(short.y, mid.y, long_.y, total.y):
+        assert s + m + l == t
+        assert s >= m >= l
+
+    # Deeper buffers do not reduce the CUBIC presence at the NE.
+    assert total.y[-1] >= total.y[0]
+
+    # Sanity: counts within group bounds.
+    for series in (short, mid, long_):
+        assert all(0 <= y <= group_size for y in series.y)

@@ -1,0 +1,36 @@
+"""Figure 11 (a–b): Nash Equilibria for CUBIC vs. BBRv2.
+
+Paper result: NE also exist for BBRv2; because BBRv2 is less aggressive
+than BBR, its NE generally contain *more* CUBIC flows than the
+BBR-predicted region for the same buffer size.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure11
+
+
+@pytest.mark.parametrize("capacity_mbps", [50, 100])
+def test_figure11_panel(benchmark, scale, save_figure, capacity_mbps):
+    fig = benchmark.pedantic(
+        figure11,
+        kwargs={"capacity_mbps": capacity_mbps, "scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    save_figure(fig)
+    sync = fig.get("bbr-sync-bound")
+    observed = [
+        s for s in fig.series if s.name.startswith("observed-")
+    ]
+    assert observed, "expected at least one observed-NE series"
+
+    for series in observed:
+        # NE found for every buffer depth tested.
+        assert set(series.x) == set(sync.x)
+        # BBRv2's NE are CUBIC-richer than (or comparable to) the BBR
+        # prediction: mean observed CUBIC count ≥ mean sync bound − 10%.
+        n_flows = max(max(sync.y), max(series.y)) or 20
+        mean_obs = sum(series.y) / len(series.y)
+        mean_sync = sum(sync.at(x) for x in series.x) / len(series.x)
+        assert mean_obs >= mean_sync - 0.1 * n_flows

@@ -1,0 +1,37 @@
+"""Figure 12: model performance in ultra-deep (>100×BDP) buffers.
+
+Paper result: BBR's actual throughput declines as the buffer grows past
+~60 BDP and dips below the model's prediction beyond ~100 BDP, because
+BBR stops being cwnd-limited there; the model (and Ware et al.) both
+over-estimate in that regime.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, scale, save_figure):
+    fig = benchmark.pedantic(
+        figure12, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_figure(fig)
+    model = fig.get("model")
+    actual = fig.get("actual")
+
+    # The model flattens to its deep-buffer asymptote...
+    assert model.y[-1] == pytest.approx(model.y[-2], rel=0.05)
+
+    # ...while BBR's actual throughput keeps declining past ~60 BDP.
+    deep = [(x, y) for x, y in zip(actual.x, actual.y) if x >= 60]
+    assert deep[-1][1] <= deep[0][1] * 1.05
+
+    # Ultra-deep buffers: actual < model (the paper's over-estimation).
+    for x, y in deep:
+        if x >= 100:
+            assert y < model.at(x)
+
+    # Shallow buffers remain in the validity range: actual within a
+    # factor-ish of the model (regime boundary, not accuracy, is the
+    # point of this figure).
+    assert actual.y[0] > 0.5 * model.y[0]

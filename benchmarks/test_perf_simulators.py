@@ -1,0 +1,60 @@
+"""Performance benchmarks for the simulators themselves.
+
+Unlike the figure benchmarks (one-shot experiment regenerations), these
+use pytest-benchmark's statistical machinery over multiple rounds: they
+are the regression guard for the substrates' throughput — the packet
+simulator in packets/second of CPU, the fluid simulator in
+flow-ticks/second — and for the model solver's latency.
+"""
+
+from repro.core.nash import predict_nash
+from repro.core.two_flow import predict_two_flow, solve_bbr_buffer_share
+from repro.fluidsim import FluidSpec, run_fluid
+from repro.sim.network import FlowSpec, run_dumbbell
+from repro.util.config import LinkConfig
+
+
+def test_perf_packet_simulator(benchmark):
+    """~42k packets (5 Mbps × 10 s, two flows) through the DES."""
+    link = LinkConfig.from_mbps_ms(5, 20, 4)
+
+    result = benchmark(
+        run_dumbbell,
+        link,
+        [FlowSpec("cubic"), FlowSpec("bbr")],
+        10.0,
+    )
+    assert result.aggregate_throughput() > 0
+
+
+def test_perf_fluid_simulator(benchmark):
+    """120 simulated seconds × 20 flows on the fluid core."""
+    link = LinkConfig.from_mbps_ms(100, 40, 5)
+    specs = [FluidSpec("cubic")] * 10 + [FluidSpec("bbr")] * 10
+
+    result = benchmark(run_fluid, link, specs, 120.0)
+    assert result.aggregate_throughput() > 0
+
+
+def test_perf_model_solver(benchmark):
+    """The closed-form Eq. 18 solve (called thousands of times per NE
+    region sweep) must stay at microsecond scale."""
+    link = LinkConfig.from_mbps_ms(100, 40, 7)
+
+    share = benchmark(solve_bbr_buffer_share, link)
+    assert 0 < share < link.buffer_bytes
+
+
+def test_perf_nash_prediction(benchmark):
+    """A full NE prediction (both bounds, fixed point included)."""
+    link = LinkConfig.from_mbps_ms(100, 40, 10)
+
+    pred = benchmark(predict_nash, link, 50)
+    assert 0 < pred.n_bbr_sync < 50
+
+
+def test_perf_two_flow_prediction(benchmark):
+    link = LinkConfig.from_mbps_ms(50, 80, 12)
+
+    pred = benchmark(predict_two_flow, link)
+    assert 0 < pred.bbr_fraction < 1

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Buffer sizing in a mixed CUBIC/BBR world.
+
+§5 of the paper ("Implications on Internet Buffer Sizing"): classic
+buffer-sizing rules assume loss-based flows, but BBR keeps 2×BDP in
+flight regardless.  This example sweeps the bottleneck buffer and asks,
+for each depth:
+
+* how is bandwidth split between CUBIC and BBR (model + fluid sim)?
+* what queuing delay does everyone pay?
+* where does the Nash Equilibrium settle — i.e. what CCA mix should an
+  operator actually expect at that buffer depth?
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from repro import LinkConfig, predict_nash, predict_two_flow
+from repro.experiments.runner import run_mix
+
+
+def main() -> None:
+    base = LinkConfig.from_mbps_ms(100, 40, 1)
+    n_flows = 20
+    print(
+        "buffer  | 1v1 BBR share      | queuing delay | NE mix "
+        f"(of {n_flows} flows)"
+    )
+    print(
+        " (BDP)  | model    simulated | (ms, mixed)   | #CUBIC "
+        "(sync-desync)"
+    )
+    print("-" * 72)
+    for depth in (1.5, 2, 3, 5, 8, 12, 20, 30):
+        link = base.with_buffer_bdp(depth)
+        pred = predict_two_flow(link)
+        sim = run_mix(
+            link,
+            [("cubic", 1), ("bbr", 1)],
+            duration=90,
+            backend="fluid",
+            trials=2,
+            seed=7,
+        )
+        sim_share = sim.per_flow["bbr"] / link.capacity
+        ne = predict_nash(link, n_flows)
+        print(
+            f" {depth:5.1f}  | {pred.bbr_fraction * 100:5.1f}%   "
+            f"{sim_share * 100:5.1f}%    | "
+            f"{sim.mean_queuing_delay * 1e3:9.1f}   | "
+            f"{ne.n_cubic_desync:4.1f} - {ne.n_cubic_sync:4.1f}"
+        )
+
+    print(
+        "\nReading the table: deeper buffers push the NE toward CUBIC "
+        "(BBR's RTT-bloat advantage saturates), but everyone pays the "
+        "queuing delay CUBIC creates.  A ~2-5 BDP buffer keeps delay "
+        "moderate while still leaving a mixed, stable CCA population — "
+        "sizing for pure loss-based traffic no longer tells the whole "
+        "story once BBR holds 2×BDP in flight."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: predict and simulate CUBIC-vs-BBR competition.
+
+Covers the three layers of the library in ~40 lines of calls:
+
+1. the analytical model (§2 of the paper),
+2. the Nash-equilibrium prediction (§4),
+3. a simulator run to check the model's prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LinkConfig, predict_nash, predict_two_flow
+from repro.core.ware import ware_prediction
+from repro.experiments.runner import run_mix
+
+
+def main() -> None:
+    # A typical paper configuration: 100 Mbps, 40 ms RTT, 5 BDP buffer.
+    link = LinkConfig.from_mbps_ms(100, 40, buffer_bdp=5)
+    print(f"bottleneck: {link.describe()}\n")
+
+    # 1. The 2-flow model: how much does one BBR flow take from CUBIC?
+    pred = predict_two_flow(link)
+    print("2-flow model (1 CUBIC vs 1 BBR):")
+    print(f"  BBR   gets {pred.bbr_bandwidth * 8 / 1e6:6.2f} Mbps "
+          f"({pred.bbr_fraction * 100:.1f}% of the link)")
+    print(f"  CUBIC gets {pred.cubic_bandwidth * 8 / 1e6:6.2f} Mbps")
+    print(f"  BBR's bloated RTT estimate: {pred.rtt_plus * 1e3:.1f} ms "
+          f"(base {link.rtt_ms:.0f} ms)")
+
+    ware = ware_prediction(link)
+    print(f"  (Ware et al. would have said "
+          f"{ware.bbr_bandwidth * 8 / 1e6:.2f} Mbps)\n")
+
+    # 2. The game-theoretic prediction: where does switching stop paying?
+    n_flows = 20
+    ne = predict_nash(link, n_flows)
+    print(f"Nash equilibrium among {n_flows} same-RTT flows:")
+    print(f"  predicted mix: {ne.n_cubic_low:.1f}-{ne.n_cubic_high:.1f} "
+          f"CUBIC flows, the rest BBR")
+    print("  → a mixed CUBIC/BBR Internet, not a BBR-dominant one.\n")
+
+    # 3. Check the 2-flow prediction against the packet-level simulator.
+    #    (2-minute flows, like the paper's experiments: BBR takes tens of
+    #    seconds to become cwnd-limited, so short runs understate it.)
+    print("packet-level simulation (120 s, same bottleneck):")
+    result = run_mix(
+        link,
+        [("cubic", 1), ("bbr", 1)],
+        duration=120,
+        backend="packet",
+    )
+    print(f"  BBR   measured {result.per_flow_mbps('bbr'):6.2f} Mbps")
+    print(f"  CUBIC measured {result.per_flow_mbps('cubic'):6.2f} Mbps")
+    print(f"  queuing delay  {result.mean_queuing_delay * 1e3:6.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

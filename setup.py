@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All real metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (e.g. offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Fairness and accuracy metrics used to interpret experiments.
+
+The paper reads its results through a handful of scalar lenses: fair
+share vs measured share, model error ("within 5%"), and flow fairness.
+This module collects them, plus confidence-interval helpers for
+multi-trial means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def jains_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one flow wins.
+
+    Defined as ``(Σx)² / (n · Σx²)``; returns 1.0 for an empty input.
+    """
+    values = [max(x, 0.0) for x in rates]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(x * x for x in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def fair_share_deviation(rate: float, capacity: float, n_flows: int) -> float:
+    """Signed relative deviation of a per-flow rate from the fair share.
+
+    +0.5 means 50% above fair share (the "disproportionate share"
+    property of §4.2); −0.5 means half of fair share.
+    """
+    if capacity <= 0 or n_flows <= 0:
+        raise ValueError("capacity and n_flows must be positive")
+    fair = capacity / n_flows
+    return rate / fair - 1.0
+
+
+def mean_absolute_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """MAE between a prediction series and measurements."""
+    _check_aligned(predicted, actual)
+    return sum(abs(p - a) for p, a in zip(predicted, actual)) / len(actual)
+
+
+def mean_relative_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean of |p − a| / |a| (the paper's "within 5% error" metric)."""
+    _check_aligned(predicted, actual)
+    total = 0.0
+    for p, a in zip(predicted, actual):
+        if a == 0:
+            continue
+        total += abs(p - a) / abs(a)
+    return total / len(actual)
+
+
+def fraction_within(
+    predicted: Sequence[float],
+    actual: Sequence[float],
+    tolerance: float,
+) -> float:
+    """Fraction of points with relative error ≤ ``tolerance``."""
+    _check_aligned(predicted, actual)
+    hits = 0
+    for p, a in zip(predicted, actual):
+        scale = abs(a) if a != 0 else 1.0
+        if abs(p - a) / scale <= tolerance:
+            hits += 1
+    return hits / len(actual)
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, low, high): a normal-approximation CI for a trial mean.
+
+    With a single sample the interval collapses to the point.
+    """
+    if not samples:
+        raise ValueError("at least one sample required")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return (mean, mean, mean)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    half = z * math.sqrt(variance / n)
+    return (mean, mean - half, mean + half)
+
+
+def _check_aligned(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> None:
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"series lengths differ: {len(predicted)} vs {len(actual)}"
+        )
+    if not actual:
+        raise ValueError("series must be non-empty")

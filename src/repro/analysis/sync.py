@@ -1,0 +1,108 @@
+"""CUBIC loss-synchronization analysis (§3.2, §5 of the paper).
+
+The paper's multi-flow model brackets reality with two bounds — all
+CUBIC flows backing off together ("synchronized") or one at a time
+("de-synchronized") — and decides which bound an experiment matched by
+*checking the traces*.  This module mechanizes that check: given each
+flow's backoff times, it clusters backoffs that happen within one RTT of
+each other into loss *events* and reports how many flows participated in
+each.
+
+A synchronization index of 1.0 means every loss event hit every active
+flow (Equation 21's regime); an index near ``1/N_c`` means one flow per
+event (Equation 22's regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LossEventCluster:
+    """One clustered congestion event."""
+
+    start: float
+    end: float
+    participants: List[int]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct flows that backed off in this event."""
+        return len(set(self.participants))
+
+
+def cluster_loss_events(
+    loss_times: Sequence[Sequence[float]], window: float
+) -> List[LossEventCluster]:
+    """Group per-flow backoff times into shared congestion events.
+
+    Backoffs within ``window`` seconds of the previous one (across all
+    flows) belong to the same buffer-overflow episode — the natural
+    window is about one RTT, since all drops of one overflow are
+    detected within a round trip.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    tagged = sorted(
+        (t, flow_id)
+        for flow_id, times in enumerate(loss_times)
+        for t in times
+    )
+    clusters: List[LossEventCluster] = []
+    current: List[tuple] = []
+    for t, flow_id in tagged:
+        if current and t - current[-1][0] > window:
+            clusters.append(_finish(current))
+            current = []
+        current.append((t, flow_id))
+    if current:
+        clusters.append(_finish(current))
+    return clusters
+
+
+def _finish(entries: List[tuple]) -> LossEventCluster:
+    return LossEventCluster(
+        start=entries[0][0],
+        end=entries[-1][0],
+        participants=[flow_id for _t, flow_id in entries],
+    )
+
+
+def synchronization_index(
+    loss_times: Sequence[Sequence[float]],
+    n_flows: int,
+    window: float,
+) -> float:
+    """Mean fraction of loss-based flows hit per congestion event.
+
+    1.0 → perfectly synchronized (Eq. 21's bound);
+    1/n_flows → perfectly de-synchronized (Eq. 22's bound);
+    0.0 when there were no loss events at all.
+    """
+    if n_flows <= 0:
+        raise ValueError(f"n_flows must be positive, got {n_flows}")
+    clusters = cluster_loss_events(loss_times, window)
+    if not clusters:
+        return 0.0
+    return sum(c.size for c in clusters) / (len(clusters) * n_flows)
+
+
+def classify_regime(
+    loss_times: Sequence[Sequence[float]],
+    n_flows: int,
+    window: float,
+) -> str:
+    """Label a trace ``"synchronized"``, ``"de-synchronized"``, or
+    ``"partial"`` — the qualitative judgement the paper applies when
+    deciding which bound an experiment should match."""
+    index = synchronization_index(loss_times, n_flows, window)
+    if n_flows == 1:
+        return "synchronized" if index > 0 else "partial"
+    lo = 1.0 / n_flows
+    if index >= 0.75:
+        return "synchronized"
+    if index <= lo + 0.25 * (1.0 - lo):
+        return "de-synchronized"
+    return "partial"

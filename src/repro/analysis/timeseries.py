@@ -1,0 +1,87 @@
+"""Time-series helpers for simulator traces.
+
+Small, dependency-light utilities for the trace rows produced by
+:class:`repro.fluidsim.FluidSimulation` (``trace_interval=...``) and the
+packet-level :class:`repro.sim.trace.CwndTracer`: resampling, moving
+averages, and sawtooth (CUBIC epoch) detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Trailing moving average with a growing head window."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    out = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def resample(
+    times: Sequence[float],
+    values: Sequence[float],
+    interval: float,
+    end: float,
+) -> List[float]:
+    """Sample a step function (times/values) at a fixed interval.
+
+    ``values[i]`` holds from ``times[i]`` until the next sample; queries
+    before the first sample return the first value.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must align")
+    if not times:
+        raise ValueError("need at least one sample")
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    out = []
+    idx = 0
+    t = 0.0
+    while t <= end:
+        while idx + 1 < len(times) and times[idx + 1] <= t:
+            idx += 1
+        out.append(values[idx])
+        t += interval
+    return out
+
+
+def detect_sawtooth_peaks(
+    times: Sequence[float],
+    values: Sequence[float],
+    min_drop: float = 0.2,
+) -> List[Tuple[float, float]]:
+    """Find (time, value) peaks where the series drops ≥ ``min_drop``
+    relative to the peak — CUBIC's multiplicative-decrease signature
+    (a 0.3 drop for CUBIC, 0.5 for Reno)."""
+    if len(times) != len(values):
+        raise ValueError("times and values must align")
+    if not 0 < min_drop < 1:
+        raise ValueError(f"min_drop must be in (0, 1), got {min_drop}")
+    peaks = []
+    peak_value = float("-inf")
+    peak_time = 0.0
+    for t, v in zip(times, values):
+        if v >= peak_value:
+            peak_value = v
+            peak_time = t
+        elif peak_value > 0 and v <= peak_value * (1.0 - min_drop):
+            peaks.append((peak_time, peak_value))
+            peak_value = v
+            peak_time = t
+    return peaks
+
+
+def sawtooth_period(peaks: Sequence[Tuple[float, float]]) -> float:
+    """Mean spacing between detected peaks (0.0 with fewer than two)."""
+    if len(peaks) < 2:
+        return 0.0
+    gaps = [b[0] - a[0] for a, b in zip(peaks, peaks[1:])]
+    return sum(gaps) / len(gaps)

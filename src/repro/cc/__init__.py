@@ -1,0 +1,47 @@
+"""Congestion control algorithms, re-implemented from their publications.
+
+Importing this package registers every algorithm with the name registry in
+:mod:`repro.cc.base`, so ``make_controller("bbr")`` etc. work after a plain
+``import repro.cc``.
+
+Algorithms:
+
+* ``reno``   — NewReno AIMD baseline.
+* ``cubic``  — RFC 8312 CUBIC with fast convergence and the TCP-friendly
+  region (the incumbent in the paper's game).
+* ``bbr``    — BBRv1's four-state machine (the challenger).
+* ``bbr2``   — simplified BBRv2: loss-bounded in-flight cap, gentler
+  probing (§4.6 of the paper).
+* ``copa``   — Copa delay-target control (§4.2).
+* ``vivace`` — PCC Vivace online-learning control (§4.2).
+* ``vegas``  — classic delay-based Vegas (for the Reno/Vegas game
+  literature the paper cites in §6).
+"""
+
+from repro.cc.base import (
+    CongestionControl,
+    available_algorithms,
+    make_controller,
+    register,
+)
+from repro.cc.bbr import BBRv1
+from repro.cc.bbr2 import BBRv2
+from repro.cc.copa import Copa
+from repro.cc.cubic import Cubic
+from repro.cc.reno import Reno
+from repro.cc.vegas import Vegas
+from repro.cc.vivace import Vivace
+
+__all__ = [
+    "CongestionControl",
+    "available_algorithms",
+    "make_controller",
+    "register",
+    "BBRv1",
+    "BBRv2",
+    "Copa",
+    "Cubic",
+    "Reno",
+    "Vegas",
+    "Vivace",
+]

@@ -1,0 +1,109 @@
+"""Congestion-control interface and algorithm registry.
+
+Every algorithm (Reno, CUBIC, BBRv1, BBRv2, Copa, Vivace) implements
+:class:`CongestionControl`.  The packet-level sender drives the controller
+with per-ACK :class:`~repro.sim.packet.RateSample` objects and per-event
+:class:`~repro.sim.packet.LossEvent` notifications, and reads back two
+outputs:
+
+* ``cwnd``  — the byte limit on in-flight data, and
+* ``pacing_rate`` — an optional bytes/second pacing limit (None for purely
+  ack-clocked algorithms such as Reno and CUBIC).
+
+Algorithms register themselves by name so experiments can be configured
+with strings (``make_controller("bbr", mss=1500)``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.cc.signals import LossEvent, RateSample
+
+#: Initial congestion window, in segments (RFC 6928).
+INITIAL_CWND_SEGMENTS = 10
+
+#: Floor on the congestion window, in segments.
+MIN_CWND_SEGMENTS = 2
+
+
+class CongestionControl(abc.ABC):
+    """Abstract congestion controller.
+
+    Subclasses must keep :attr:`cwnd` (bytes) up to date and may set
+    :attr:`pacing_rate` (bytes/second) to enable pacing.
+    """
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name = "base"
+
+    #: Whether the algorithm reduces its window in response to loss. The
+    #: fluid simulator uses this to decide which flows take overflow cuts.
+    loss_based = True
+
+    def __init__(self, mss: int = 1500) -> None:
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        self.cwnd: float = INITIAL_CWND_SEGMENTS * mss
+        self.pacing_rate: Optional[float] = None
+
+    @abc.abstractmethod
+    def on_ack(self, sample: RateSample) -> None:
+        """Process one acknowledgement's rate/RTT sample."""
+
+    @abc.abstractmethod
+    def on_loss(self, event: LossEvent) -> None:
+        """Process a loss notification."""
+
+    def on_sent(self, now: float, in_flight: int) -> None:
+        """Hook invoked after each packet transmission (optional)."""
+
+    @property
+    def min_cwnd(self) -> float:
+        """Lower bound on cwnd in bytes."""
+        return MIN_CWND_SEGMENTS * self.mss
+
+    def clamp_cwnd(self) -> None:
+        """Enforce the cwnd floor."""
+        if self.cwnd < self.min_cwnd:
+            self.cwnd = self.min_cwnd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pacing = (
+            f", pacing={self.pacing_rate:.0f}B/s" if self.pacing_rate else ""
+        )
+        return f"<{type(self).__name__} cwnd={self.cwnd:.0f}B{pacing}>"
+
+
+_REGISTRY: Dict[str, Callable[..., CongestionControl]] = {}
+
+
+def register(name: str) -> Callable[[type], type]:
+    """Class decorator registering a controller under ``name``."""
+
+    def decorator(cls: type) -> type:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"duplicate congestion control name: {name}")
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def make_controller(name: str, **kwargs: object) -> CongestionControl:
+    """Instantiate a registered controller by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown congestion control {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered congestion control algorithms."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,277 @@
+"""BBRv2 congestion control (simplified from the IETF-104 iccrg update).
+
+BBRv2 keeps BBRv1's model-based skeleton (bandwidth and RTprop estimators,
+a PROBE_BW cycle, periodic RTT probing) but is "a less aggressive
+alternative" (§4.6 of the paper): it *reacts to packet loss* by maintaining
+an upper bound ``inflight_hi`` on in-flight data, cut multiplicatively
+(β = 0.3) when a round's loss rate exceeds ``LOSS_THRESH``, and it cruises
+with 15% headroom below that bound.  Its PROBE_BW cycle is the four-phase
+DOWN → CRUISE → REFILL → UP sequence, and ProbeRTT is gentler than v1's
+(cwnd floor of 0.5 × BDP rather than 4 packets, every 5 s).
+
+This implementation captures the behaviours the paper's §4.6 experiments
+depend on: bounded aggression against loss-based flows (more CUBIC flows
+at the Nash Equilibrium) while still claiming a disproportionate share
+when BBRv2 flows are few.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl, register
+from repro.cc.signals import LossEvent, RateSample
+from repro.util.filters import WindowedMax
+
+#: STARTUP pacing gain (BBRv2 uses 2.77).
+STARTUP_GAIN = 2.77
+
+#: Loss rate per round above which inflight_hi is cut.
+LOSS_THRESH = 0.02
+
+#: Multiplicative cut applied to inflight_hi on an over-threshold round.
+BETA = 0.3
+
+#: Headroom kept below inflight_hi while cruising.
+HEADROOM = 0.85
+
+#: ProbeRTT cadence (seconds); BBRv2 probes more often than v1.
+PROBE_RTT_INTERVAL = 5.0
+
+#: Minimum time spent in ProbeRTT (seconds).
+PROBE_RTT_DURATION = 0.2
+
+#: Time spent cruising before the next bandwidth probe (seconds).
+CRUISE_INTERVAL = 2.5
+
+#: Bandwidth filter window, packet-timed rounds.
+BW_FILTER_ROUNDS = 10
+
+#: RTprop filter window (seconds).
+RTPROP_FILTER_LEN = 10.0
+
+STARTUP = "STARTUP"
+DRAIN = "DRAIN"
+PROBE_DOWN = "PROBE_DOWN"
+CRUISE = "CRUISE"
+REFILL = "REFILL"
+PROBE_UP = "PROBE_UP"
+PROBE_RTT = "PROBE_RTT"
+
+
+@register("bbr2")
+class BBRv2(CongestionControl):
+    """BBRv2 controller (paced, loss-bounded in-flight cap)."""
+
+    name = "bbr2"
+    loss_based = True  # Reacts to loss, unlike BBRv1.
+
+    def __init__(self, mss: int = 1500) -> None:
+        super().__init__(mss=mss)
+        self.state = STARTUP
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = 2.0
+
+        self._bw_filter = WindowedMax(BW_FILTER_ROUNDS)
+        self.rtprop: Optional[float] = None
+        self._rtprop_stamp = 0.0
+
+        self._round_count = 0
+        self._next_round_delivered = 0
+        self._round_start = False
+
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self.full_pipe = False
+
+        self.inflight_hi = float("inf")
+        self._round_lost_bytes = 0
+        self._round_delivered_bytes = 0
+
+        self._phase_stamp = 0.0
+        self._probe_rtt_done_stamp: Optional[float] = None
+        self._prior_cwnd = self.cwnd
+
+        self.pacing_rate = None
+
+    # -- derived estimates ----------------------------------------------------
+
+    @property
+    def bw(self) -> float:
+        """Bottleneck-bandwidth estimate in bytes/second."""
+        value = self._bw_filter.get()
+        return value if value is not None else 0.0
+
+    def bdp(self, gain: float = 1.0) -> float:
+        """``gain × bw × RTprop`` in bytes; 0 before any estimates."""
+        if self.rtprop is None:
+            return 0.0
+        return gain * self.bw * self.rtprop
+
+    # -- CongestionControl interface -------------------------------------------
+
+    def on_ack(self, sample: RateSample) -> None:
+        now = sample.now
+        self._update_round(sample)
+        if sample.delivery_rate > 0 and (
+            not sample.is_app_limited or sample.delivery_rate > self.bw
+        ):
+            self._bw_filter.update(self._round_count, sample.delivery_rate)
+        self._update_rtprop(sample)
+        self._round_delivered_bytes += sample.acked_bytes
+
+        if self._round_start:
+            self._on_round_end(now, sample)
+
+        self._advance_state_machine(now, sample)
+        self._set_outputs(sample)
+
+    def on_loss(self, event: LossEvent) -> None:
+        self._round_lost_bytes += event.lost_bytes
+        if self.state == STARTUP:
+            # Excessive startup loss caps the pipe estimate immediately.
+            self.inflight_hi = min(
+                self.inflight_hi, max(event.in_flight, self.min_cwnd)
+            )
+            self.full_pipe = True
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _update_round(self, sample: RateSample) -> None:
+        self._round_start = False
+        if sample.delivered_at_send >= self._next_round_delivered:
+            self._next_round_delivered = sample.delivered
+            self._round_count += 1
+            self._round_start = True
+
+    def _update_rtprop(self, sample: RateSample) -> None:
+        now = sample.now
+        expired = (
+            self.rtprop is not None
+            and now - self._rtprop_stamp > RTPROP_FILTER_LEN
+        )
+        if self.rtprop is None or sample.rtt <= self.rtprop or expired:
+            self.rtprop = sample.rtt
+            self._rtprop_stamp = now
+
+    def _on_round_end(self, now: float, sample: RateSample) -> None:
+        total = self._round_delivered_bytes + self._round_lost_bytes
+        if total > 0:
+            loss_rate = self._round_lost_bytes / total
+            if loss_rate > LOSS_THRESH:
+                # Loss says the path cannot sustain this much in flight.
+                reference = max(
+                    sample.in_flight + self._round_lost_bytes, self.min_cwnd
+                )
+                bound = min(self.inflight_hi, reference)
+                self.inflight_hi = max(
+                    bound * (1.0 - BETA), self.min_cwnd
+                )
+                if self.state == PROBE_UP:
+                    self._enter_phase(PROBE_DOWN, now)
+        self._round_lost_bytes = 0
+        self._round_delivered_bytes = 0
+
+    # -- state machine ---------------------------------------------------------
+
+    def _advance_state_machine(self, now: float, sample: RateSample) -> None:
+        if self.state == STARTUP:
+            self._check_full_pipe()
+            if self.full_pipe:
+                self.state = DRAIN
+                self.pacing_gain = 0.5
+        if self.state == DRAIN and sample.in_flight <= self.bdp():
+            self._enter_phase(PROBE_DOWN, now)
+
+        if self.state == PROBE_DOWN:
+            target = HEADROOM * min(self.inflight_hi, self.bdp(1.0))
+            if sample.in_flight <= max(target, self.min_cwnd):
+                self._enter_phase(CRUISE, now)
+        elif self.state == CRUISE:
+            if now - self._phase_stamp > CRUISE_INTERVAL:
+                self._enter_phase(REFILL, now)
+        elif self.state == REFILL:
+            if self.rtprop is not None and (
+                now - self._phase_stamp > self.rtprop
+            ):
+                self._enter_phase(PROBE_UP, now)
+        elif self.state == PROBE_UP:
+            if sample.in_flight >= self.bdp(1.25) or (
+                sample.in_flight >= self.inflight_hi
+            ):
+                self._enter_phase(PROBE_DOWN, now)
+
+        self._check_probe_rtt(now, sample)
+
+    def _enter_phase(self, phase: str, now: float) -> None:
+        self.state = phase
+        self._phase_stamp = now
+        self.pacing_gain = {
+            PROBE_DOWN: 0.9,
+            CRUISE: 1.0,
+            REFILL: 1.0,
+            PROBE_UP: 1.25,
+        }.get(phase, 1.0)
+        self.cwnd_gain = 2.0
+
+    def _check_full_pipe(self) -> None:
+        if self.full_pipe or not self._round_start:
+            return
+        if self.bw >= self._full_bw * 1.25:
+            self._full_bw = self.bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self.full_pipe = True
+
+    def _check_probe_rtt(self, now: float, sample: RateSample) -> None:
+        if (
+            self.state != PROBE_RTT
+            and self.state != STARTUP
+            and now - self._rtprop_stamp > PROBE_RTT_INTERVAL
+        ):
+            self.state = PROBE_RTT
+            self.pacing_gain = 1.0
+            self._prior_cwnd = max(self.cwnd, self._prior_cwnd)
+            self._probe_rtt_done_stamp = None
+        if self.state == PROBE_RTT:
+            floor = max(0.5 * self.bdp(1.0), self.min_cwnd)
+            if (
+                self._probe_rtt_done_stamp is None
+                and sample.in_flight <= floor * 1.05
+            ):
+                self._probe_rtt_done_stamp = now + PROBE_RTT_DURATION
+            elif (
+                self._probe_rtt_done_stamp is not None
+                and now >= self._probe_rtt_done_stamp
+            ):
+                self._rtprop_stamp = now
+                self.cwnd = max(self.cwnd, self._prior_cwnd)
+                self._enter_phase(PROBE_DOWN, now)
+
+    # -- control outputs ----------------------------------------------------------
+
+    def _set_outputs(self, sample: RateSample) -> None:
+        bw = self.bw
+        if bw > 0:
+            self.pacing_rate = self.pacing_gain * bw
+
+        if self.state == PROBE_RTT:
+            self.cwnd = max(0.5 * self.bdp(1.0), self.min_cwnd)
+            return
+
+        target = self.bdp(self.cwnd_gain) if self.full_pipe else float("inf")
+        if self.state == CRUISE:
+            cap = HEADROOM * self.inflight_hi
+        else:
+            cap = self.inflight_hi
+        target = min(target, cap)
+        if target == float("inf"):
+            self.cwnd += sample.acked_bytes  # Startup growth.
+            return
+        if self.cwnd < target:
+            self.cwnd = min(self.cwnd + sample.acked_bytes, target)
+        else:
+            self.cwnd = target
+        self.clamp_cwnd()

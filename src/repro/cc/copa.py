@@ -1,0 +1,167 @@
+"""Copa congestion control (Arun & Balakrishnan, NSDI 2018).
+
+Copa targets a sending rate of ``1 / (δ · d_q)`` packets per second, where
+``d_q`` is the queuing delay measured as ``RTT_standing − RTT_min``.  The
+window moves toward the target with a velocity parameter that doubles when
+successive adjustments agree in direction.
+
+The paper's Figure 7 finds that Copa (in its default mode) obtains *lower*
+than fair-share throughput against CUBIC for every distribution — it lacks
+the "disproportionate share when few" property that creates a mixed Nash
+Equilibrium, so the paper expects no interior NE for Copa.  Copa's optional
+*competitive mode* (which detects non-Copa competitors and shrinks δ) is
+implemented behind a flag, default off, matching that observation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import CongestionControl, register
+from repro.cc.signals import LossEvent, RateSample
+from repro.util.filters import WindowedMin
+
+#: Default delta: trade-off between delay and throughput (default mode).
+DEFAULT_DELTA = 0.5
+
+#: Smallest delta reachable in competitive mode.
+MIN_DELTA = 0.04
+
+#: RTT_min filter window, seconds.
+RTT_MIN_WINDOW = 10.0
+
+
+@register("copa")
+class Copa(CongestionControl):
+    """Copa controller (paced at 2×cwnd/RTT_standing).
+
+    Args:
+        mss: Segment size in bytes.
+        delta: Initial δ parameter (1/δ packets of queue at equilibrium).
+        competitive_mode: Enable competitor detection / δ reduction.
+    """
+
+    name = "copa"
+    loss_based = True  # Halves its window on loss, per the Copa paper.
+
+    def __init__(
+        self,
+        mss: int = 1500,
+        delta: float = DEFAULT_DELTA,
+        competitive_mode: bool = False,
+    ) -> None:
+        super().__init__(mss=mss)
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+        self.base_delta = delta
+        self.competitive_mode = competitive_mode
+
+        self._rtt_min_filter = WindowedMin(RTT_MIN_WINDOW)
+        self._rtt_standing_filter: Optional[WindowedMin] = None
+        self._srtt: Optional[float] = None
+
+        self.velocity = 1.0
+        self._direction = 0  # +1 opening, -1 closing.
+        self._same_direction_count = 0
+        self._last_update_time = 0.0
+        self._last_cwnd_double: Optional[float] = None
+
+        # Competitive-mode estimator: time since the queue last looked empty.
+        self._last_empty_queue_time = 0.0
+        self._last_loss: Optional[float] = None
+
+    # -- CongestionControl interface ------------------------------------------
+
+    def on_ack(self, sample: RateSample) -> None:
+        now = sample.now
+        rtt = sample.rtt
+        self._srtt = (
+            rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
+        )
+        rtt_min = self._rtt_min_filter.update(now, rtt)
+
+        # RTT_standing: min RTT over the most recent srtt/2.
+        if self._rtt_standing_filter is None or (
+            abs(self._rtt_standing_filter.window - self._srtt / 2)
+            > 0.25 * self._srtt
+        ):
+            window = max(self._srtt / 2, 1e-4)
+            fresh = WindowedMin(window)
+            fresh.update(now, rtt)
+            self._rtt_standing_filter = fresh
+        rtt_standing = self._rtt_standing_filter.update(now, rtt)
+
+        queuing_delay = max(rtt_standing - rtt_min, 0.0)
+        if self.competitive_mode:
+            self._update_mode(now, queuing_delay, rtt_min)
+
+        if queuing_delay <= 1e-9:
+            target_rate = float("inf")
+            self._last_empty_queue_time = now
+        else:
+            target_rate = self.mss / (self.delta * queuing_delay)
+        current_rate = self.cwnd / max(rtt_standing, 1e-9)
+
+        self._update_velocity(now)
+        step = (
+            self.velocity
+            * self.mss
+            * sample.acked_bytes
+            / (self.delta * self.cwnd)
+        )
+        if current_rate <= target_rate:
+            self.cwnd += step
+            new_direction = 1
+        else:
+            self.cwnd -= step
+            new_direction = -1
+        self.clamp_cwnd()
+
+        if new_direction != self._direction:
+            self.velocity = 1.0
+            self._same_direction_count = 0
+        self._direction = new_direction
+        self.pacing_rate = 2.0 * self.cwnd / max(rtt_standing, 1e-9)
+
+    def _update_velocity(self, now: float) -> None:
+        """Double velocity once per RTT while direction is consistent."""
+        srtt = self._srtt if self._srtt is not None else 0.0
+        if now - self._last_update_time < srtt:
+            return
+        self._last_update_time = now
+        if self._direction != 0:
+            self._same_direction_count += 1
+            if self._same_direction_count >= 3:
+                self.velocity = min(self.velocity * 2.0, 1e6)
+        else:
+            self._same_direction_count = 0
+
+    def _update_mode(
+        self, now: float, queuing_delay: float, rtt_min: float
+    ) -> None:
+        """Competitive-mode δ adaptation (Copa §4): if the queue has not
+        looked "nearly empty" for 5 RTTs, a buffer-filling competitor is
+        presumed and δ is halved; otherwise δ recovers toward default."""
+        nearly_empty = queuing_delay < 0.1 * max(rtt_min, 1e-9)
+        if nearly_empty:
+            self._last_empty_queue_time = now
+            self.delta = min(self.delta * 2.0, self.base_delta)
+        elif now - self._last_empty_queue_time > 5.0 * max(rtt_min, 1e-3):
+            self.delta = max(self.delta / 2.0, MIN_DELTA)
+            self._last_empty_queue_time = now
+
+    def on_loss(self, event: LossEvent) -> None:
+        # Copa reduces its window on loss like an AIMD flow (Copa paper §2).
+        if self._srtt is not None and (
+            event.now - self._last_loss_time() < self._srtt
+        ):
+            return
+        self._last_loss = event.now
+        self.cwnd /= 2.0
+        self.clamp_cwnd()
+        self.velocity = 1.0
+        self._direction = 0
+
+    def _last_loss_time(self) -> float:
+        return self._last_loss if self._last_loss is not None else -1e9

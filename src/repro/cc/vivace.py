@@ -1,0 +1,190 @@
+"""PCC Vivace congestion control (Dong et al., NSDI 2018).
+
+Vivace is a rate-based, online-learning algorithm: time is sliced into
+monitor intervals (MIs), each MI measures a utility
+
+    U(x) = x^t − b · x · max(0, dRTT/dt) − c · x · L
+
+with ``x`` the sending rate, ``L`` the observed loss rate, and ``t = 0.9``.
+Paired MIs at rates ``r(1+ε)`` and ``r(1−ε)`` estimate the utility
+gradient, and the rate moves in the gradient's direction with a
+confidence-amplified step.
+
+Vivace comes in two flavours: Vivace-Loss (``b = 0``) and
+Vivace-Latency (``b = 900``); the latency-sensitive variant deliberately
+concedes to buffer-filling competitors (Vivace §3).  The IMC paper's
+Figure 7 shows "PCC Vivace" claiming a *disproportionately large* share
+against CUBIC when its flows are few — the behaviour of Vivace-Loss — so
+``latency_coeff`` defaults to 0 here, with the latency variant available
+via the constructor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cc.base import CongestionControl, register
+from repro.cc.signals import LossEvent, RateSample
+
+#: Utility exponent on throughput.
+THROUGHPUT_EXPONENT = 0.9
+
+#: Latency-gradient penalty coefficient of the latency-sensitive variant.
+LATENCY_COEFF = 900.0
+
+#: Loss penalty coefficient.
+LOSS_COEFF = 11.35
+
+#: Rate perturbation for gradient probing.
+EPSILON = 0.05
+
+#: Maximum confidence amplifier (consecutive same-direction doublings).
+MAX_AMPLIFIER = 8.0
+
+#: Floor on the sending rate, bytes/second (≈0.12 Mbps).
+MIN_RATE = 15_000.0
+
+
+@register("vivace")
+class Vivace(CongestionControl):
+    """PCC Vivace controller (rate-paced; cwnd used only as a safety cap)."""
+
+    name = "vivace"
+    loss_based = False  # Loss enters the utility, not a window cut.
+
+    def __init__(
+        self,
+        mss: int = 1500,
+        initial_rate: float = 125_000.0,
+        latency_coeff: float = 0.0,
+        loss_coeff: float = LOSS_COEFF,
+    ):
+        super().__init__(mss=mss)
+        if initial_rate <= 0:
+            raise ValueError(
+                f"initial_rate must be positive, got {initial_rate}"
+            )
+        self.latency_coeff = latency_coeff
+        self.loss_coeff = loss_coeff
+        self.rate = initial_rate  # bytes/second
+        self.pacing_rate = initial_rate
+        self._srtt: Optional[float] = None
+
+        # Monitor-interval state: phase 0 probes r(1+ε), phase 1 probes
+        # r(1−ε), then the pair is scored and the base rate updated.
+        self._mi_phase = 0
+        self._mi_start: Optional[float] = None
+        self._mi_end: Optional[float] = None
+        self._mi_acked = 0
+        self._mi_lost = 0
+        self._mi_rtts: List[Tuple[float, float]] = []
+        self._pair_utilities: List[float] = []
+
+        self._amplifier = 1.0
+        self._last_direction = 0
+
+    # -- utility ----------------------------------------------------------
+
+    def utility(
+        self, rate: float, rtt_gradient: float, loss_rate: float
+    ) -> float:
+        """Vivace's utility for a rate in bytes/s (scored in Mbps units)."""
+        x_mbps = rate * 8.0 / 1e6
+        if x_mbps <= 0:
+            return 0.0
+        return (
+            x_mbps ** THROUGHPUT_EXPONENT
+            - self.latency_coeff * x_mbps * max(0.0, rtt_gradient)
+            - self.loss_coeff * x_mbps * loss_rate
+        )
+
+    def _probe_rate(self) -> float:
+        if self._mi_phase == 0:
+            return self.rate * (1.0 + EPSILON)
+        return self.rate * (1.0 - EPSILON)
+
+    # -- CongestionControl interface -----------------------------------------
+
+    def on_ack(self, sample: RateSample) -> None:
+        now = sample.now
+        self._srtt = (
+            sample.rtt
+            if self._srtt is None
+            else 0.875 * self._srtt + 0.125 * sample.rtt
+        )
+        if self._mi_start is None:
+            self._begin_mi(now)
+        self._mi_acked += sample.acked_bytes
+        self._mi_rtts.append((now, sample.rtt))
+
+        if self._mi_end is not None and now >= self._mi_end:
+            self._finish_mi(now)
+
+        # Keep a generous window so the pacer, not cwnd, is the limit.
+        self.cwnd = max(
+            2.0 * self.pacing_rate * (self._srtt or 0.05), self.min_cwnd
+        )
+
+    def on_loss(self, event: LossEvent) -> None:
+        self._mi_lost += event.lost_packets
+
+    # -- monitor intervals -------------------------------------------------------
+
+    def _begin_mi(self, now: float) -> None:
+        duration = max(self._srtt or 0.05, 0.01)
+        self._mi_start = now
+        self._mi_end = now + duration
+        self._mi_acked = 0
+        self._mi_lost = 0
+        self._mi_rtts = []
+        self.pacing_rate = max(self._probe_rate(), MIN_RATE)
+
+    def _finish_mi(self, now: float) -> None:
+        assert self._mi_start is not None
+        elapsed = max(now - self._mi_start, 1e-6)
+        achieved = self._mi_acked / elapsed
+        lost_bytes = self._mi_lost * self.mss
+        total = self._mi_acked + lost_bytes
+        loss_rate = lost_bytes / total if total > 0 else 0.0
+        rtt_gradient = self._rtt_gradient(elapsed)
+        self._pair_utilities.append(
+            self.utility(achieved, rtt_gradient, loss_rate)
+        )
+
+        if self._mi_phase == 0:
+            self._mi_phase = 1
+        else:
+            self._mi_phase = 0
+            self._apply_gradient_step()
+            self._pair_utilities = []
+        self._begin_mi(now)
+
+    def _rtt_gradient(self, elapsed: float) -> float:
+        """Slope of RTT over the MI (s/s), from first/last halves' means."""
+        samples = self._mi_rtts
+        if len(samples) < 4:
+            return 0.0
+        half = len(samples) // 2
+        first = sum(rtt for _, rtt in samples[:half]) / half
+        second = sum(rtt for _, rtt in samples[half:]) / (
+            len(samples) - half
+        )
+        return (second - first) / elapsed
+
+    def _apply_gradient_step(self) -> None:
+        if len(self._pair_utilities) != 2:
+            return
+        u_plus, u_minus = self._pair_utilities
+        if u_plus == u_minus:
+            # No gradient signal: hold the rate, drop the confidence.
+            self._amplifier = 1.0
+            self._last_direction = 0
+            return
+        direction = 1 if u_plus > u_minus else -1
+        if direction == self._last_direction:
+            self._amplifier = min(self._amplifier * 2.0, MAX_AMPLIFIER)
+        else:
+            self._amplifier = 1.0
+        self._last_direction = direction
+        step = direction * EPSILON * self._amplifier * self.rate
+        self.rate = max(self.rate + step, MIN_RATE)

@@ -1,0 +1,291 @@
+"""Command-line interface: ``repro-bbr``.
+
+Subcommands:
+
+* ``predict``  — run the analytical model for one configuration.
+* ``nash``     — predict the Nash Equilibrium distribution.
+* ``simulate`` — run a flow mix on either simulator backend.
+* ``figure``   — regenerate a paper figure (fig1 … fig12) and render it.
+* ``validate`` — score the model vs Ware et al. against a simulator sweep.
+* ``evolve``   — play the CCA-selection game via best-response dynamics.
+* ``list``     — list available figures and congestion controls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cc import available_algorithms
+from repro.core import predict_multi_flow, predict_nash, predict_two_flow
+from repro.core.ware import ware_prediction
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import run_mix
+from repro.util.config import LinkConfig
+
+
+def _add_link_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mbps", type=float, default=100.0, help="link capacity in Mbps"
+    )
+    parser.add_argument(
+        "--rtt-ms", type=float, default=40.0, help="base RTT in ms"
+    )
+    parser.add_argument(
+        "--buffer-bdp",
+        type=float,
+        default=5.0,
+        help="bottleneck buffer size in BDP",
+    )
+
+
+def _link_from(args: argparse.Namespace) -> LinkConfig:
+    return LinkConfig.from_mbps_ms(args.mbps, args.rtt_ms, args.buffer_bdp)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    link = _link_from(args)
+    print(f"link: {link.describe()}")
+    if args.cubic == 1 and args.bbr == 1:
+        pred = predict_two_flow(link)
+        print(
+            f"2-flow model: BBR {pred.bbr_bandwidth * 8 / 1e6:.2f} Mbps "
+            f"({pred.bbr_fraction * 100:.1f}%), "
+            f"CUBIC {pred.cubic_bandwidth * 8 / 1e6:.2f} Mbps"
+        )
+        print(
+            f"  RTT+ {pred.rtt_plus * 1e3:.1f} ms, "
+            f"b_cmin {pred.cubic_min_buffer / link.mss:.0f} pkts, "
+            f"valid={pred.in_validity_range}"
+        )
+    else:
+        pred = predict_multi_flow(link, args.cubic, args.bbr)
+        lo, hi = pred.per_flow_bbr_bounds()
+        print(
+            f"multi-flow model ({args.cubic} CUBIC vs {args.bbr} BBR): "
+            f"per-flow BBR in [{lo * 8 / 1e6:.2f}, {hi * 8 / 1e6:.2f}] Mbps"
+        )
+    ware = ware_prediction(link, n_bbr=args.bbr)
+    print(
+        f"ware et al. baseline: aggregate BBR "
+        f"{ware.bbr_bandwidth * 8 / 1e6:.2f} Mbps"
+    )
+    return 0
+
+
+def _cmd_nash(args: argparse.Namespace) -> int:
+    link = _link_from(args)
+    pred = predict_nash(link, args.flows)
+    print(f"link: {link.describe()}, {args.flows} flows")
+    print(
+        f"predicted NE: {pred.n_cubic_low:.1f}-{pred.n_cubic_high:.1f} "
+        f"CUBIC flows / {pred.n_bbr_desync:.1f}-{pred.n_bbr_sync:.1f} BBR "
+        f"flows (valid={pred.in_validity_range})"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    link = _link_from(args)
+    mix = []
+    for item in args.mix:
+        try:
+            cc, count = item.split(":")
+            mix.append((cc, int(count)))
+        except ValueError:
+            print(f"bad mix entry {item!r}; use name:count", file=sys.stderr)
+            return 2
+    result = run_mix(
+        link,
+        mix,
+        duration=args.duration,
+        backend=args.backend,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"link: {link.describe()}  backend={args.backend}")
+    for cc, count in mix:
+        if count == 0:
+            continue
+        print(
+            f"  {cc:>8} ×{count}: {result.per_flow_mbps(cc):6.2f} Mbps/flow"
+        )
+    print(f"  queuing delay: {result.mean_queuing_delay * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    key = args.id if args.id.startswith("fig") else f"fig{args.id}"
+    if key not in FIGURES:
+        print(
+            f"unknown figure {args.id!r}; available: {sorted(FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    produced = FIGURES[key](scale=args.scale)
+    figures = produced if isinstance(produced, list) else [produced]
+    for fig in figures:
+        print(fig.render())
+        print()
+        if args.csv_dir:
+            path = f"{args.csv_dir}/{fig.figure_id}.csv"
+            fig.to_csv(path)
+            print(f"(wrote {path})")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import validate_two_flow
+
+    link = _link_from(args)
+    report = validate_two_flow(
+        link,
+        buffer_bdps=args.buffers,
+        duration=args.duration,
+        backend=args.backend,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.core.game import ThroughputTable
+    from repro.experiments.runner import distribution_throughput_fn
+
+    link = _link_from(args)
+    print(
+        f"link: {link.describe()}, {args.flows} flows "
+        f"({args.incumbent} vs {args.challenger})"
+    )
+    print("measuring all distributions (fluid simulator)...")
+    fn = distribution_throughput_fn(
+        link,
+        args.flows,
+        challenger=args.challenger,
+        incumbent=args.incumbent,
+        duration=args.duration,
+        backend="fluid",
+        seed=args.seed,
+    )
+    table = ThroughputTable.from_function(args.flows, fn)
+    path = table.best_response_path(args.start)
+    print(f"best-response path (#{args.challenger} flows): " +
+          " -> ".join(str(k) for k in path))
+    tolerance = 0.02 * link.capacity / args.flows
+    equilibria = table.nash_equilibria(tolerance=tolerance)
+    print(f"equilibria (±2% tolerance): {equilibria}")
+    final = path[-1]
+    print(
+        f"converged mix: {args.flows - final} {args.incumbent} / "
+        f"{final} {args.challenger}"
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("figures:", ", ".join(sorted(FIGURES)))
+    print("congestion controls:", ", ".join(available_algorithms()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-bbr argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bbr",
+        description=(
+            "Reproduction toolkit for 'Are we heading towards a "
+            "BBR-dominant Internet?' (IMC 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="run the throughput model")
+    _add_link_args(p)
+    p.add_argument("--cubic", type=int, default=1, help="# CUBIC flows")
+    p.add_argument("--bbr", type=int, default=1, help="# BBR flows")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("nash", help="predict the NE distribution")
+    _add_link_args(p)
+    p.add_argument("--flows", type=int, default=50, help="total flows")
+    p.set_defaults(func=_cmd_nash)
+
+    p = sub.add_parser("simulate", help="simulate a flow mix")
+    _add_link_args(p)
+    p.add_argument(
+        "mix",
+        nargs="+",
+        help="flow mix entries like cubic:5 bbr:5",
+    )
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument(
+        "--backend", choices=("packet", "fluid"), default="fluid"
+    )
+    p.add_argument("--trials", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("id", help="figure id, e.g. fig5 or 5")
+    p.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = CI-sized, full = paper parameters",
+    )
+    p.add_argument(
+        "--csv-dir", default=None, help="also write CSVs to this directory"
+    )
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "validate",
+        help="score the model vs Ware et al. against a simulator sweep",
+    )
+    _add_link_args(p)
+    p.add_argument(
+        "--buffers",
+        type=float,
+        nargs="+",
+        default=[2, 5, 10, 20],
+        help="buffer depths in BDP",
+    )
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument(
+        "--backend", choices=("packet", "fluid"), default="packet"
+    )
+    p.add_argument("--trials", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "evolve",
+        help="play the CCA-selection game via best-response dynamics",
+    )
+    _add_link_args(p)
+    p.add_argument("--flows", type=int, default=10, help="total flows")
+    p.add_argument("--incumbent", default="cubic")
+    p.add_argument("--challenger", default="bbr")
+    p.add_argument(
+        "--start", type=int, default=1, help="initial challenger count"
+    )
+    p.add_argument("--duration", type=float, default=100.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evolve)
+
+    p = sub.add_parser("list", help="list figures and algorithms")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Terminal rendering of figure data (no plotting libraries offline).
+
+A deliberately small scatter/line renderer: series are drawn with distinct
+marker characters on a shared canvas with axis labels, plus a plain data
+table for exact values.  Good enough to eyeball the shapes the paper's
+figures show (crossovers, diminishing returns, predicted regions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+SeriesData = Tuple[str, Sequence[float], Sequence[float]]
+
+
+def _bounds(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def render_plot(
+    series: List[SeriesData],
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Render series as an ASCII scatter plot with a legend."""
+    points = [
+        (x, y)
+        for _name, xs, ys in series
+        for x, y in zip(xs, ys)
+        if y == y  # skip NaNs
+    ]
+    if not points:
+        return "(no data)"
+    x_lo, x_hi = _bounds([p[0] for p in points])
+    y_lo, y_hi = _bounds([p[1] for p in points])
+    y_lo = min(y_lo, 0.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (_name, xs, ys) in enumerate(series):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            if y != y:
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    label_width = 9
+    for i, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        prefix = f"{y_val:8.1f} |" if i % 3 == 0 else " " * label_width + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"{x_lo:<10.1f}{xlabel:^{max(width - 20, 1)}}{x_hi:>10.1f}"
+    )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, (name, _x, _y) in enumerate(series)
+    )
+    lines.append(f"  [{ylabel}]  {legend}")
+    return "\n".join(lines)
+
+
+def render_table(xlabel: str, series: List[SeriesData]) -> str:
+    """Render series as an aligned text table over the union of x values.
+
+    Repeated x values within a series (e.g. multiple Nash Equilibria
+    found at one buffer depth across trials) are averaged for the table;
+    the plot and CSV retain every point.
+    """
+    xs = sorted({x for _n, sx, _sy in series for x in sx})
+    names = [name for name, _x, _y in series]
+    col_width = max(12, max((len(n) for n in names), default=12) + 2)
+    header = f"{xlabel:>12} " + "".join(f"{n:>{col_width}}" for n in names)
+    rows = [header]
+    lookup = []
+    for _n, sx, sy in series:
+        grouped = {}
+        for x, y in zip(sx, sy):
+            grouped.setdefault(x, []).append(y)
+        lookup.append(
+            {x: sum(ys) / len(ys) for x, ys in grouped.items()}
+        )
+    for x in xs:
+        cells = []
+        for table in lookup:
+            value = table.get(x)
+            cells.append(
+                f"{value:>{col_width}.2f}"
+                if value is not None
+                else " " * (col_width - 1) + "-"
+            )
+        rows.append(f"{x:>12.2f} " + "".join(cells))
+    return "\n".join(rows)

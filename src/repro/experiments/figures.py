@@ -1,0 +1,623 @@
+"""Regeneration of every figure in the paper's evaluation.
+
+Each ``figureN*`` function reruns the corresponding experiment and returns
+one :class:`~repro.experiments.results.FigureResult` (or a list, for
+multi-panel figures).  Two fidelity presets are provided:
+
+* ``scale="quick"`` — reduced durations/point counts/flow counts sized for
+  CI and ``pytest-benchmark`` runs (seconds to a few minutes per figure);
+* ``scale="full"``  — the paper's parameters (2-minute flows, 10 trials,
+  dense sweeps; expect hours for Figures 9–11).
+
+Quick mode preserves every qualitative property the paper reports (who
+wins, crossover locations in BDP, region containment); absolute numbers
+shift slightly with the shorter averaging windows.  Figure 2 is a network
+schematic and Table 1 a notation table — nothing to regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.game import FlowGroup, GroupGame, bisect_nash
+from repro.core.multi_flow import predict_multi_flow
+from repro.core.nash import nash_region, predict_nash
+from repro.core.two_flow import predict_two_flow
+from repro.core.ware import ware_prediction
+from repro.experiments.results import FigureResult
+from repro.experiments.runner import (
+    distribution_throughput_fn,
+    group_payoff_fn,
+    run_mix,
+)
+from repro.util.config import LinkConfig
+
+SCALES = ("quick", "full")
+
+
+def _check_scale(scale: str) -> bool:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale == "full"
+
+
+def _mbps(x: float) -> float:
+    return x * 8.0 / 1e6
+
+
+# -- Figure 1: the Ware et al. gap -------------------------------------------------
+
+
+def figure1(scale: str = "quick") -> FigureResult:
+    """Figure 1: Ware et al. prediction vs. BBR's actual share.
+
+    1 CUBIC vs. 1 BBR at 50 Mbps / 40 ms; buffer swept up to 50 BDP.
+    """
+    full = _check_scale(scale)
+    buffers = (
+        [x * 0.5 for x in range(2, 101)]
+        if full
+        else [1, 2, 3, 5, 10, 20, 35, 50]
+    )
+    # BBR needs tens of seconds to become cwnd-limited after its startup
+    # transient, so even quick mode keeps near-paper-length flows here.
+    duration = 120.0 if full else 100.0
+    fig = FigureResult(
+        figure_id="fig1",
+        title="BBR bandwidth share, 50 Mbps / 40 ms (Ware et al. vs actual)",
+        xlabel="buffer (BDP)",
+        ylabel="bandwidth (Mbps)",
+    )
+    ware, actual = [], []
+    for depth in buffers:
+        link = LinkConfig.from_mbps_ms(50, 40, depth)
+        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
+        result = run_mix(
+            link,
+            [("cubic", 1), ("bbr", 1)],
+            duration=duration,
+            backend="packet",
+        )
+        actual.append(result.per_flow_mbps("bbr"))
+    fig.add("ware", buffers, ware)
+    fig.add("actual", buffers, actual)
+    return fig
+
+
+# -- Figure 3: 2-flow model validation -----------------------------------------------
+
+
+def figure3(
+    capacity_mbps: float = 50,
+    rtt_ms: float = 40,
+    scale: str = "quick",
+) -> FigureResult:
+    """One panel of Figure 3: model vs. Ware vs. actual across buffers."""
+    full = _check_scale(scale)
+    buffers = (
+        [x * 0.5 for x in range(2, 61)]
+        if full
+        else [1, 2, 3, 5, 10, 18, 30]
+    )
+    # Near-paper-length flows: see figure1's duration note.
+    duration = 120.0 if full else 100.0
+    fig = FigureResult(
+        figure_id=f"fig3-{capacity_mbps:g}mbps-{rtt_ms:g}ms",
+        title=(
+            f"2-flow validation, {capacity_mbps:g} Mbps / {rtt_ms:g} ms"
+        ),
+        xlabel="buffer (BDP)",
+        ylabel="BBR bandwidth (Mbps)",
+    )
+    ware, model, actual = [], [], []
+    for depth in buffers:
+        link = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
+        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
+        model.append(_mbps(predict_two_flow(link).bbr_bandwidth))
+        result = run_mix(
+            link,
+            [("cubic", 1), ("bbr", 1)],
+            duration=duration,
+            backend="packet",
+        )
+        actual.append(result.per_flow_mbps("bbr"))
+    fig.add("ware", buffers, ware)
+    fig.add("model", buffers, model)
+    fig.add("actual", buffers, actual)
+    return fig
+
+
+def figure3_all(scale: str = "quick") -> List[FigureResult]:
+    """All four panels of Figure 3 ({50,100} Mbps × {40,80} ms)."""
+    return [
+        figure3(capacity, rtt, scale)
+        for capacity in (50, 100)
+        for rtt in (40, 80)
+    ]
+
+
+# -- Figure 4: multi-flow validation ---------------------------------------------------
+
+
+def figure4(
+    n_per_class: int = 5, scale: str = "quick", seed: int = 0
+) -> FigureResult:
+    """One panel of Figure 4: N CUBIC vs N BBR, 100 Mbps / 40 ms.
+
+    Plots the model's predicted region (sync/desync bounds), Ware's
+    per-flow prediction, and the fluid-simulated per-flow BBR throughput.
+    """
+    full = _check_scale(scale)
+    buffers = (
+        list(range(1, 31))
+        if full
+        else [1, 2, 3, 5, 10, 15, 20, 30]
+    )
+    duration = 120.0 if full else 90.0
+    trials = 10 if full else 3
+    fig = FigureResult(
+        figure_id=f"fig4-{n_per_class}v{n_per_class}",
+        title=(
+            f"{n_per_class} CUBIC vs {n_per_class} BBR, 100 Mbps / 40 ms"
+        ),
+        xlabel="buffer (BDP)",
+        ylabel="per-flow bandwidth (Mbps)",
+    )
+    sync, desync, ware, actual = [], [], [], []
+    for depth in buffers:
+        link = LinkConfig.from_mbps_ms(100, 40, depth)
+        pred = predict_multi_flow(link, n_per_class, n_per_class)
+        sync.append(_mbps(pred.per_flow_bbr_sync))
+        desync.append(_mbps(pred.per_flow_bbr_desync))
+        ware.append(
+            _mbps(
+                ware_prediction(
+                    link, n_bbr=n_per_class, duration=duration
+                ).bbr_bandwidth
+            )
+            / n_per_class
+        )
+        result = run_mix(
+            link,
+            [("cubic", n_per_class), ("bbr", n_per_class)],
+            duration=duration,
+            backend="fluid",
+            trials=trials,
+            seed=seed,
+        )
+        actual.append(result.per_flow_mbps("bbr"))
+    fig.add("sync-bound", buffers, sync)
+    fig.add("desync-bound", buffers, desync)
+    fig.add("ware", buffers, ware)
+    fig.add("actual", buffers, actual)
+    return fig
+
+
+# -- Figure 5: diminishing returns ---------------------------------------------------
+
+
+def figure5(
+    n_flows: int = 10,
+    buffer_bdp: float = 3,
+    scale: str = "quick",
+    seed: int = 0,
+) -> FigureResult:
+    """One panel of Figure 5: BBR per-flow bandwidth vs. #BBR flows."""
+    full = _check_scale(scale)
+    duration = 120.0 if full else 90.0
+    trials = 10 if full else 2
+    step = 1 if (full or n_flows <= 10) else 2
+    counts = list(range(1, n_flows + 1, step))
+    if counts[-1] != n_flows:
+        counts.append(n_flows)
+    link = LinkConfig.from_mbps_ms(100, 40, buffer_bdp)
+    fig = FigureResult(
+        figure_id=f"fig5-{n_flows}flows-{buffer_bdp:g}bdp",
+        title=(
+            f"Diminishing returns: {n_flows} flows, "
+            f"{buffer_bdp:g} BDP buffer"
+        ),
+        xlabel="# BBR flows",
+        ylabel="per-flow bandwidth (Mbps)",
+    )
+    sync, desync, actual = [], [], []
+    fair = _mbps(link.capacity) / n_flows
+    for n_bbr in counts:
+        pred = predict_multi_flow(link, n_flows - n_bbr, n_bbr)
+        sync.append(_mbps(pred.per_flow_bbr_sync))
+        desync.append(_mbps(pred.per_flow_bbr_desync))
+        result = run_mix(
+            link,
+            [("cubic", n_flows - n_bbr), ("bbr", n_bbr)],
+            duration=duration,
+            backend="fluid",
+            trials=trials,
+            seed=seed,
+        )
+        actual.append(result.per_flow_mbps("bbr"))
+    fig.add("sync-bound", counts, sync)
+    fig.add("desync-bound", counts, desync)
+    fig.add("actual", counts, actual)
+    fig.add("fair-share", counts, [fair] * len(counts))
+    return fig
+
+
+# -- Figure 6: NE geometry --------------------------------------------------------------
+
+
+def figure6(
+    n_flows: int = 10, buffer_bdp: float = 3, scale: str = "quick"
+) -> FigureResult:
+    """Figure 6 (quantified): per-flow BBR bandwidth line vs. fair share.
+
+    The paper's Figure 6 is a schematic; here it is generated from the
+    model so the A→B line and the crossing point C are concrete.
+    """
+    _check_scale(scale)
+    link = LinkConfig.from_mbps_ms(100, 40, buffer_bdp)
+    counts = list(range(1, n_flows + 1))
+    fair = _mbps(link.capacity) / n_flows
+    fig = FigureResult(
+        figure_id="fig6",
+        title="Nash Equilibrium geometry (model-generated)",
+        xlabel="# BBR flows",
+        ylabel="per-flow BBR bandwidth (Mbps)",
+    )
+    sync, desync = [], []
+    for n_bbr in counts:
+        pred = predict_multi_flow(link, n_flows - n_bbr, n_bbr)
+        sync.append(_mbps(pred.per_flow_bbr_sync))
+        desync.append(_mbps(pred.per_flow_bbr_desync))
+    fig.add("bbr-per-flow-sync", counts, sync)
+    fig.add("bbr-per-flow-desync", counts, desync)
+    fig.add("fair-share", counts, [fair] * len(counts))
+    ne = predict_nash(link, n_flows)
+    fig.notes = (
+        f"Model NE (point C): N_b in "
+        f"[{min(ne.n_bbr_sync, ne.n_bbr_desync):.2f}, "
+        f"{max(ne.n_bbr_sync, ne.n_bbr_desync):.2f}] of {n_flows}"
+    )
+    return fig
+
+
+# -- Figure 7: other congestion control algorithms ------------------------------------------
+
+
+def figure7(
+    scale: str = "quick",
+    seed: int = 0,
+    algorithms: Sequence[str] = ("bbr", "bbr2", "copa", "vivace"),
+) -> FigureResult:
+    """Figure 7: per-flow throughput of X vs. #X flows, X ∈ {BBR, BBRv2,
+    Copa, PCC Vivace}, 10 flows at 100 Mbps with a 2 BDP buffer."""
+    full = _check_scale(scale)
+    n_flows = 10
+    duration = 120.0 if full else 60.0
+    trials = 3 if full else 1
+    link = LinkConfig.from_mbps_ms(100, 40, 2)
+    fair = _mbps(link.capacity) / n_flows
+    fig = FigureResult(
+        figure_id="fig7",
+        title="Per-flow bandwidth vs #non-CUBIC flows (2 BDP buffer)",
+        xlabel="# non-CUBIC flows",
+        ylabel="per-flow bandwidth (Mbps)",
+    )
+    counts = list(range(1, n_flows + 1))
+    for algo in algorithms:
+        values = []
+        for k in counts:
+            result = run_mix(
+                link,
+                [("cubic", n_flows - k), (algo, k)],
+                duration=duration,
+                backend="fluid",
+                trials=trials,
+                seed=seed,
+            )
+            values.append(result.per_flow_mbps(algo))
+        fig.add(algo, counts, values)
+    fig.add("fair-share", counts, [fair] * len(counts))
+    return fig
+
+
+# -- Figure 8: throughput and delay along the distribution sweep ------------------------------
+
+
+def figure8(
+    scale: str = "quick", seed: int = 0
+) -> Tuple[FigureResult, FigureResult]:
+    """Figure 8: (a) CUBIC/BBR per-flow throughput and (b) shared queuing
+    delay, as the number of BBR flows grows (10 flows, 2 BDP, 40 ms)."""
+    full = _check_scale(scale)
+    n_flows = 10
+    duration = 120.0 if full else 60.0
+    trials = 3 if full else 1
+    link = LinkConfig.from_mbps_ms(100, 40, 2)
+    counts = list(range(0, n_flows + 1))
+    cubic, bbr, delay = [], [], []
+    for k in counts:
+        result = run_mix(
+            link,
+            [("cubic", n_flows - k), ("bbr", k)],
+            duration=duration,
+            backend="fluid",
+            trials=trials,
+            seed=seed,
+        )
+        cubic.append(result.per_flow_mbps("cubic") if k < n_flows else 0.0)
+        bbr.append(result.per_flow_mbps("bbr") if k > 0 else 0.0)
+        delay.append(result.mean_queuing_delay * 1e3)
+    fig_a = FigureResult(
+        figure_id="fig8a",
+        title="Average per-flow throughput vs #BBR flows",
+        xlabel="# non-CUBIC flows",
+        ylabel="per-flow bandwidth (Mbps)",
+    )
+    fig_a.add("cubic", counts, cubic)
+    fig_a.add("bbr", counts, bbr)
+    fig_b = FigureResult(
+        figure_id="fig8b",
+        title="Average queuing delay vs #BBR flows",
+        xlabel="# non-CUBIC flows",
+        ylabel="queuing delay (ms)",
+    )
+    fig_b.add("queuing-delay", counts, delay)
+    return fig_a, fig_b
+
+
+# -- Figure 9: NE validation -------------------------------------------------------------------
+
+
+def figure9(
+    capacity_mbps: float = 100,
+    rtt_ms: float = 40,
+    scale: str = "quick",
+    seed: int = 0,
+    challenger: str = "bbr",
+) -> FigureResult:
+    """One panel of Figure 9: predicted Nash Region vs. empirical NE.
+
+    Quick mode uses 20 flows and bisection NE search (the paper uses 50
+    flows and exhaustive enumeration over 10 trials).
+    """
+    full = _check_scale(scale)
+    n_flows = 50 if full else 20
+    duration = 120.0 if full else 110.0
+    trials = 10 if full else 2
+    buffers = (
+        [0.5] + [float(b) for b in range(1, 51)]
+        if full
+        else [0.5, 2, 5, 10, 20, 35, 50]
+    )
+    fig = FigureResult(
+        figure_id=(
+            f"fig9-{capacity_mbps:g}mbps-{rtt_ms:g}ms"
+            + ("" if challenger == "bbr" else f"-{challenger}")
+        ),
+        title=(
+            f"NE: predicted region vs observed, {n_flows} flows, "
+            f"{capacity_mbps:g} Mbps / {rtt_ms:g} ms ({challenger})"
+        ),
+        xlabel="buffer (BDP)",
+        ylabel="# CUBIC flows at NE",
+    )
+    base = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, 1)
+    region = nash_region(base, n_flows, buffers)
+    fig.add("sync-bound", buffers, [p.n_cubic_sync for p in region])
+    fig.add("desync-bound", buffers, [p.n_cubic_desync for p in region])
+
+    observed_x, observed_y = [], []
+    for depth in buffers:
+        link = base.with_buffer_bdp(depth)
+        for trial in range(trials):
+            fn = distribution_throughput_fn(
+                link,
+                n_flows,
+                challenger=challenger,
+                duration=duration,
+                backend="fluid",
+                seed=seed + 7919 * trial,
+            )
+            equilibria, _cache = bisect_nash(n_flows, fn)
+            for k in equilibria:
+                observed_x.append(depth)
+                observed_y.append(n_flows - k)
+    fig.add("observed-ne", observed_x, observed_y)
+    return fig
+
+
+def figure9_all(scale: str = "quick", seed: int = 0) -> List[FigureResult]:
+    """All six panels of Figure 9 ({50,100} Mbps × {20,40,80} ms)."""
+    return [
+        figure9(capacity, rtt, scale, seed)
+        for capacity in (50, 100)
+        for rtt in (20, 40, 80)
+    ]
+
+
+# -- Figure 10: multi-RTT NE ---------------------------------------------------------------------
+
+
+def figure10(scale: str = "quick", seed: int = 0) -> FigureResult:
+    """Figure 10: NE for three RTT groups (10/30/50 ms) sharing 100 Mbps.
+
+    Reports the total CUBIC count at the NE per buffer depth and how it
+    splits across the RTT groups (§4.5: the shortest-RTT flows choose
+    CUBIC first).
+    """
+    full = _check_scale(scale)
+    group_size = 10 if full else 3
+    duration = 120.0 if full else 90.0
+    buffers = (
+        [2, 5, 10, 15, 20, 30, 40, 50] if full else [2, 10, 35]
+    )
+    rtts = [0.010, 0.030, 0.050]
+    sizes = [group_size] * 3
+    # Buffer normalized to the BDP of the shortest-RTT flow, as in §4.5.
+    base = LinkConfig.from_mbps_ms(100, 10, 1)
+
+    fig = FigureResult(
+        figure_id="fig10",
+        title=(
+            f"Multi-RTT NE: 3×{group_size} flows at 10/30/50 ms, 100 Mbps"
+        ),
+        xlabel="buffer (BDP of shortest RTT)",
+        ylabel="# CUBIC flows at NE",
+    )
+    totals, by_group = [], {rtt: [] for rtt in rtts}
+    for depth in buffers:
+        link = base.with_buffer_bdp(depth)
+        payoff = group_payoff_fn(
+            link, rtts, sizes, duration=duration, seed=seed
+        )
+        game = GroupGame(
+            groups=[FlowGroup(rtt=r, size=s) for r, s in zip(rtts, sizes)],
+            payoff=payoff,
+        )
+        # Best-response descent from diverse starts, then NE verification.
+        candidates = set()
+        starts = [
+            (0, group_size // 2, group_size),
+            tuple(sizes),
+        ]
+        for start in starts:
+            path = game.best_response_path(start)
+            candidates.add(path[-1])
+        equilibria = [s for s in candidates if game.is_nash(s)]
+        if not equilibria:
+            equilibria = [min(candidates)]  # Report the best effort.
+        state = equilibria[0]
+        n_cubic_by_group = [
+            size - k for size, k in zip(sizes, state)
+        ]
+        totals.append(sum(n_cubic_by_group))
+        for rtt, n_cubic in zip(rtts, n_cubic_by_group):
+            by_group[rtt].append(n_cubic)
+    fig.add("n-cubic-total", buffers, totals)
+    for rtt in rtts:
+        fig.add(f"n-cubic-{rtt * 1e3:g}ms", buffers, by_group[rtt])
+    return fig
+
+
+# -- Figure 11: BBRv2 NE ----------------------------------------------------------------------------
+
+
+def figure11(
+    capacity_mbps: float = 50, scale: str = "quick", seed: int = 0
+) -> FigureResult:
+    """One panel of Figure 11: CUBIC-vs-BBRv2 NE against the BBR-predicted
+    region (the paper finds more CUBIC flows at the NE than with BBR)."""
+    full = _check_scale(scale)
+    n_flows = 50 if full else 20
+    duration = 120.0 if full else 110.0
+    rtts_ms = (20, 40, 80) if full else (40,)
+    buffers = (
+        [0.5] + [float(b) for b in range(1, 51)]
+        if full
+        else [2, 5, 10, 20, 35, 50]
+    )
+    fig = FigureResult(
+        figure_id=f"fig11-{capacity_mbps:g}mbps",
+        title=(
+            f"BBRv2 NE vs BBR-predicted region, {n_flows} flows, "
+            f"{capacity_mbps:g} Mbps"
+        ),
+        xlabel="buffer (BDP)",
+        ylabel="# CUBIC flows at NE",
+    )
+    base = LinkConfig.from_mbps_ms(capacity_mbps, 40, 1)
+    region = nash_region(base, n_flows, buffers)
+    fig.add("bbr-sync-bound", buffers, [p.n_cubic_sync for p in region])
+    fig.add(
+        "bbr-desync-bound", buffers, [p.n_cubic_desync for p in region]
+    )
+    for rtt_ms in rtts_ms:
+        observed_x, observed_y = [], []
+        for depth in buffers:
+            link = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
+            fn = distribution_throughput_fn(
+                link,
+                n_flows,
+                challenger="bbr2",
+                duration=duration,
+                backend="fluid",
+                seed=seed,
+            )
+            equilibria, _cache = bisect_nash(n_flows, fn)
+            for k in equilibria:
+                observed_x.append(depth)
+                observed_y.append(n_flows - k)
+        fig.add(f"observed-{rtt_ms}ms", observed_x, observed_y)
+    return fig
+
+
+# -- Figure 12: ultra-deep buffers ---------------------------------------------------------------------
+
+
+def figure12(scale: str = "quick") -> FigureResult:
+    """Figure 12: model over-estimation in ultra-deep buffers.
+
+    1 CUBIC vs 1 BBR swept to 250 BDP.  Quick mode shrinks the link
+    (20 Mbps / 20 ms) so the packet simulator covers the deep-buffer
+    regime in seconds; the regime boundary (≈100 BDP) is in BDP units and
+    scale-free, like the paper's other BDP-normalized results.
+    """
+    full = _check_scale(scale)
+    if full:
+        capacity_mbps, rtt_ms, duration = 50.0, 40.0, 120.0
+        buffers = [1, 5, 10, 25, 50, 75, 100, 125, 150, 200, 250]
+    else:
+        capacity_mbps, rtt_ms, duration = 20.0, 20.0, 120.0
+        buffers = [1, 5, 20, 60, 100, 150, 250]
+    fig = FigureResult(
+        figure_id="fig12",
+        title=(
+            f"Ultra-deep buffers, {capacity_mbps:g} Mbps / {rtt_ms:g} ms "
+            "(model overestimates past ~100 BDP)"
+        ),
+        xlabel="buffer (BDP)",
+        ylabel="BBR bandwidth (Mbps)",
+    )
+    ware, model, actual = [], [], []
+    for depth in buffers:
+        link = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
+        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
+        model.append(_mbps(predict_two_flow(link).bbr_bandwidth))
+        result = run_mix(
+            link,
+            [("cubic", 1), ("bbr", 1)],
+            duration=duration,
+            backend="packet",
+        )
+        actual.append(result.per_flow_mbps("bbr"))
+    fig.add("ware", buffers, ware)
+    fig.add("model", buffers, model)
+    fig.add("actual", buffers, actual)
+    return fig
+
+
+#: Registry used by the CLI: figure id → zero-argument quick generator.
+FIGURES: Dict[str, object] = {
+    "fig1": figure1,
+    "fig3": figure3_all,
+    "fig4": lambda scale="quick": [
+        figure4(5, scale),
+        figure4(10, scale),
+    ],
+    "fig5": lambda scale="quick": [
+        figure5(10, 3, scale),
+        figure5(20, 3, scale),
+        figure5(10, 10, scale),
+        figure5(20, 10, scale),
+    ],
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": lambda scale="quick": list(figure8(scale)),
+    "fig9": figure9_all,
+    "fig10": figure10,
+    "fig11": lambda scale="quick": [
+        figure11(50, scale),
+        figure11(100, scale),
+    ],
+    "fig12": figure12,
+}

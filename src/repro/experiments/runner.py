@@ -1,0 +1,287 @@
+"""Scenario runner: one interface over both simulator substrates.
+
+The experiment harness asks one question over and over: *given a link and
+a mix of flows, what per-flow throughput does each CCA class get?*  This
+module answers it against either substrate — ``backend="packet"`` for the
+high-fidelity discrete-event simulator (1–2 flow validation figures) or
+``backend="fluid"`` for the fluid simulator (large NE sweeps) — with
+multi-trial averaging and seeded per-trial jitter, mirroring the paper's
+10-trial methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fluidsim.core import FluidSpec, run_fluid
+from repro.sim.network import FlowSpec, run_dumbbell
+from repro.util.config import LinkConfig
+
+BACKENDS = ("packet", "fluid")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Per-CCA mean per-flow throughput for one scenario (bytes/second)."""
+
+    per_flow: Dict[str, float]
+    aggregate: Dict[str, float]
+    mean_queuing_delay: float
+
+    def per_flow_mbps(self, cc: str) -> float:
+        """Per-flow mean throughput of class ``cc`` in Mbps."""
+        return self.per_flow.get(cc, 0.0) * 8.0 / 1e6
+
+
+def run_mix(
+    link: LinkConfig,
+    mix: Sequence[Tuple[str, int]],
+    duration: float = 60.0,
+    warmup: Optional[float] = None,
+    backend: str = "fluid",
+    trials: int = 1,
+    seed: int = 0,
+    rtts: Optional[Dict[str, float]] = None,
+    loss_mode: str = "proportional",
+) -> ScenarioResult:
+    """Run a flow mix and return per-CCA mean throughputs.
+
+    Args:
+        link: Bottleneck configuration.
+        mix: Pairs of (cc name, flow count), e.g. ``[("cubic", 5),
+            ("bbr", 5)]``.  Zero counts are allowed and skipped.
+        duration: Flow lifetime per trial (the paper uses 120 s).
+        warmup: Measurement exclusion window; defaults to ``duration/6``
+            to skip the startup transient.
+        backend: ``"packet"`` or ``"fluid"``.
+        trials: Trials to average; trial ``t`` uses seed ``seed + t``.
+        seed: Base RNG seed (fluid backend jitter / loss lottery).
+        rtts: Optional per-CCA base RTT override in seconds.
+        loss_mode: Fluid-backend CUBIC synchronization mode.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if warmup is None:
+        warmup = duration / 6.0
+
+    per_flow_samples: Dict[str, List[float]] = {}
+    aggregate_samples: Dict[str, List[float]] = {}
+    delay_samples: List[float] = []
+    for trial in range(trials):
+        result = _run_once(
+            link,
+            mix,
+            duration,
+            warmup,
+            backend,
+            seed + trial,
+            rtts,
+            loss_mode,
+        )
+        delay_samples.append(result.mean_queuing_delay)
+        for cc, _count in mix:
+            cc = cc.lower()
+            flows = result.by_cc(cc)
+            if not flows:
+                continue
+            per_flow_samples.setdefault(cc, []).append(
+                result.mean_throughput(cc)
+            )
+            aggregate_samples.setdefault(cc, []).append(
+                result.aggregate_throughput(cc)
+            )
+
+    return ScenarioResult(
+        per_flow={cc: mean(v) for cc, v in per_flow_samples.items()},
+        aggregate={cc: mean(v) for cc, v in aggregate_samples.items()},
+        mean_queuing_delay=mean(delay_samples),
+    )
+
+
+def _run_once(
+    link: LinkConfig,
+    mix: Sequence[Tuple[str, int]],
+    duration: float,
+    warmup: float,
+    backend: str,
+    seed: int,
+    rtts: Optional[Dict[str, float]],
+    loss_mode: str,
+):
+    def rtt_for(cc: str) -> Optional[float]:
+        if rtts is None:
+            return None
+        return rtts.get(cc.lower())
+
+    if backend == "packet":
+        specs = [
+            FlowSpec(cc=cc, rtt=rtt_for(cc))
+            for cc, count in mix
+            for _ in range(count)
+        ]
+        return run_dumbbell(link, specs, duration=duration, warmup=warmup)
+    fluid_specs = [
+        FluidSpec(cc=cc, rtt=rtt_for(cc))
+        for cc, count in mix
+        for _ in range(count)
+    ]
+    return run_fluid(
+        link,
+        fluid_specs,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        start_jitter=min(1.0, duration / 30.0),
+        loss_mode=loss_mode,
+    )
+
+
+def distribution_throughput_fn(
+    link: LinkConfig,
+    n_flows: int,
+    challenger: str = "bbr",
+    incumbent: str = "cubic",
+    duration: float = 60.0,
+    backend: str = "fluid",
+    trials: int = 1,
+    seed: int = 0,
+):
+    """Build a §4.4-style throughput function over distributions.
+
+    Returns ``fn(k) -> (per-flow incumbent λ, per-flow challenger λ)`` for
+    ``k`` challenger flows out of ``n_flows`` — the shape
+    :class:`repro.core.game.ThroughputTable` and
+    :func:`repro.core.game.bisect_nash` consume.
+    """
+
+    def fn(k: int) -> Tuple[float, float]:
+        if not 0 <= k <= n_flows:
+            raise ValueError(f"k must be in [0, {n_flows}], got {k}")
+        result = run_mix(
+            link,
+            [(incumbent, n_flows - k), (challenger, k)],
+            duration=duration,
+            backend=backend,
+            trials=trials,
+            seed=seed + 1000 * k,
+        )
+        return (
+            result.per_flow.get(incumbent, 0.0),
+            result.per_flow.get(challenger, 0.0),
+        )
+
+    return fn
+
+
+def distribution_utility_fn(
+    link: LinkConfig,
+    n_flows: int,
+    delay_weight: float,
+    challenger: str = "bbr",
+    incumbent: str = "cubic",
+    duration: float = 60.0,
+    backend: str = "fluid",
+    trials: int = 1,
+    seed: int = 0,
+):
+    """A §4.3-style utility game: ``U = throughput − w·delay``.
+
+    The utility is a linear combination of per-flow throughput
+    (bytes/second) and the *shared* queuing delay (seconds), scaled so
+    ``delay_weight`` is in "Mbps of throughput a user would trade for
+    100 ms of delay".  Because the delay term is common to both CCAs at
+    any distribution, the paper conjectures the NE structure is
+    throughput-driven; feed this into
+    :class:`repro.core.game.ThroughputTable` (whose machinery is
+    payoff-agnostic) to test that.
+    """
+    if delay_weight < 0:
+        raise ValueError(
+            f"delay_weight must be non-negative, got {delay_weight}"
+        )
+    # Mbps-per-100ms → (bytes/s) per second-of-delay.
+    weight = delay_weight * (1e6 / 8.0) / 0.1
+
+    def fn(k: int) -> Tuple[float, float]:
+        if not 0 <= k <= n_flows:
+            raise ValueError(f"k must be in [0, {n_flows}], got {k}")
+        result = run_mix(
+            link,
+            [(incumbent, n_flows - k), (challenger, k)],
+            duration=duration,
+            backend=backend,
+            trials=trials,
+            seed=seed + 1000 * k,
+        )
+        penalty = weight * result.mean_queuing_delay
+        u_incumbent = result.per_flow.get(incumbent, 0.0) - penalty
+        u_challenger = result.per_flow.get(challenger, 0.0) - penalty
+        return (u_incumbent, u_challenger)
+
+    return fn
+
+
+def group_payoff_fn(
+    link: LinkConfig,
+    group_rtts: Sequence[float],
+    group_sizes: Sequence[int],
+    challenger: str = "bbr",
+    incumbent: str = "cubic",
+    duration: float = 60.0,
+    trials: int = 1,
+    seed: int = 0,
+):
+    """Payoff function for the multi-RTT :class:`repro.core.game.GroupGame`.
+
+    The returned callable maps a tuple of per-group challenger counts to
+    per-group ``(incumbent per-flow λ, challenger per-flow λ)`` pairs,
+    measured with the fluid backend (per-flow RTTs differ, so the packet
+    backend also works but is far slower).
+    """
+    if len(group_rtts) != len(group_sizes):
+        raise ValueError("group_rtts and group_sizes must align")
+
+    def payoff(state: Sequence[int]):
+        specs = []
+        membership = []  # (group, is_challenger)
+        for g, (rtt, size) in enumerate(zip(group_rtts, group_sizes)):
+            k = state[g]
+            if not 0 <= k <= size:
+                raise ValueError(
+                    f"group {g}: count {k} outside [0, {size}]"
+                )
+            for i in range(size):
+                cc = challenger if i < k else incumbent
+                specs.append(FluidSpec(cc=cc, rtt=rtt))
+                membership.append((g, i < k))
+
+        totals: Dict[Tuple[int, bool], List[float]] = {}
+        for trial in range(trials):
+            result = run_fluid(
+                link,
+                specs,
+                duration=duration,
+                warmup=duration / 6.0,
+                seed=seed + trial,
+                start_jitter=min(1.0, duration / 30.0),
+            )
+            for flow, (g, is_challenger) in zip(
+                result.flows, membership
+            ):
+                totals.setdefault((g, is_challenger), []).append(
+                    flow.throughput
+                )
+        payoffs = []
+        for g in range(len(group_sizes)):
+            inc = totals.get((g, False), [])
+            cha = totals.get((g, True), [])
+            payoffs.append(
+                (mean(inc) if inc else 0.0, mean(cha) if cha else 0.0)
+            )
+        return payoffs
+
+    return payoff

@@ -1,0 +1,45 @@
+"""Fluid-flow bottleneck simulator.
+
+A fast, tick-based companion to :mod:`repro.sim` used for the paper's
+large sweeps (50-flow Nash-equilibrium searches, distribution evolutions).
+See :mod:`repro.fluidsim.core` for the model and its relation to §2.4's
+synchronization bounds.
+"""
+
+from repro.fluidsim.core import (
+    LOSS_MODES,
+    FluidSimulation,
+    FluidSpec,
+    TickContext,
+    run_fluid,
+)
+from repro.fluidsim.flows import (
+    FluidBBR,
+    FluidBBR2,
+    FluidCopa,
+    FluidCubic,
+    FluidFlow,
+    FluidReno,
+    FluidVegas,
+    FluidVivace,
+    available_fluid_algorithms,
+    make_fluid_flow,
+)
+
+__all__ = [
+    "LOSS_MODES",
+    "FluidSimulation",
+    "FluidSpec",
+    "TickContext",
+    "run_fluid",
+    "FluidBBR",
+    "FluidBBR2",
+    "FluidCopa",
+    "FluidCubic",
+    "FluidFlow",
+    "FluidReno",
+    "FluidVegas",
+    "FluidVivace",
+    "available_fluid_algorithms",
+    "make_fluid_flow",
+]

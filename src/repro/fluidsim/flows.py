@@ -1,0 +1,669 @@
+"""Fluid-model congestion-control dynamics.
+
+Each class mirrors the per-ACK algorithm in :mod:`repro.cc` at tick
+granularity: instead of processing individual ACKs, a flow observes last
+tick's throughput and RTT (:class:`~repro.fluidsim.core.TickContext`) and
+updates its in-flight target.  The mapping is deliberately direct — e.g.
+:class:`FluidCubic` evaluates the same ``C·(t−K)³ + W_max`` window curve
+and the same 0.7 backoff as :class:`repro.cc.cubic.Cubic` — so that model
+assumptions validated against the packet simulator carry over.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.fluidsim.core import TickContext
+from repro.util.filters import WindowedMax, WindowedMin
+
+#: CUBIC constants (match repro.cc.cubic).
+C_CUBIC = 0.4
+BETA_CUBIC = 0.7
+
+
+class FluidFlow:
+    """Base class: a congestion-controlled fluid at one bottleneck."""
+
+    name = "fluid"
+    loss_based = True
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+    ) -> None:
+        if rtt <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt}")
+        self.flow_id = flow_id
+        self.rtt = rtt
+        self.start_time = start_time
+        self.mss = mss
+        self.inflight = 10.0 * mss  # IW10.
+        self._last_loss_time: Optional[float] = None
+        self._last_rtt_measured = rtt
+
+    def tick(self, ctx: TickContext) -> None:
+        """Observe last tick's state and update :attr:`inflight`."""
+        raise NotImplementedError
+
+    def on_loss(self, now: float) -> None:
+        """Congestion backoff (rate-limited to once per RTT by callers)."""
+
+    def on_drop(self, now: float, dropped_bytes: float) -> None:
+        """Physical drop of fluid (loss-agnostic flows just lose bytes)."""
+
+    def _loss_guard(self, now: float) -> bool:
+        """True when a loss should count as a new congestion event."""
+        guard = self._last_rtt_measured
+        if (
+            self._last_loss_time is not None
+            and now - self._last_loss_time < guard
+        ):
+            return False
+        self._last_loss_time = now
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} id={self.flow_id} "
+            f"inflight={self.inflight:.0f}B>"
+        )
+
+
+class FluidCubic(FluidFlow):
+    """CUBIC as a fluid: slow start, cubic growth, 0.7 backoff."""
+
+    name = "cubic"
+    loss_based = True
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+        fast_convergence: bool = True,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self.fast_convergence = fast_convergence
+        self._in_slow_start = True
+        self._w_max_pkts: Optional[float] = None
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+
+    def tick(self, ctx: TickContext) -> None:
+        self._last_rtt_measured = ctx.rtt_measured
+        if self._in_slow_start:
+            self.inflight *= 2.0 ** (ctx.dt / ctx.rtt_measured)
+            return
+        now = ctx.now
+        if self._epoch_start is None:
+            self._epoch_start = now
+            if (
+                self._w_max_pkts is None
+                or self._w_max_pkts < self.inflight / self.mss
+            ):
+                self._w_max_pkts = self.inflight / self.mss
+                self._k = 0.0
+            else:
+                self._k = (
+                    self._w_max_pkts * (1.0 - BETA_CUBIC) / C_CUBIC
+                ) ** (1.0 / 3.0)
+        t = now - self._epoch_start
+        target_pkts = C_CUBIC * (t - self._k) ** 3 + self._w_max_pkts
+        target = max(target_pkts * self.mss, 2.0 * self.mss)
+        # The window is ack-clocked: it cannot grow faster than one extra
+        # packet per delivered packet (slow-start bound), with a floor of
+        # one segment per RTT so a starved flow can still probe.
+        max_growth = max(
+            ctx.throughput * ctx.dt,
+            self.mss * ctx.dt / ctx.rtt_measured,
+        )
+        self.inflight = min(target, self.inflight + max_growth)
+
+    def on_loss(self, now: float) -> None:
+        if not self._loss_guard(now):
+            return
+        w_pkts = self.inflight / self.mss
+        if (
+            self.fast_convergence
+            and self._w_max_pkts is not None
+            and w_pkts < self._w_max_pkts
+        ):
+            self._w_max_pkts = w_pkts * (2.0 - BETA_CUBIC) / 2.0
+        else:
+            self._w_max_pkts = w_pkts
+        self._k = (self._w_max_pkts * (1.0 - BETA_CUBIC) / C_CUBIC) ** (
+            1.0 / 3.0
+        )
+        self.inflight = max(
+            self.inflight * BETA_CUBIC, 2.0 * self.mss
+        )
+        self._epoch_start = None
+        self._in_slow_start = False
+
+
+class FluidReno(FluidFlow):
+    """NewReno as a fluid: +1 MSS per RTT, halve on loss."""
+
+    name = "reno"
+    loss_based = True
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self._in_slow_start = True
+
+    def tick(self, ctx: TickContext) -> None:
+        self._last_rtt_measured = ctx.rtt_measured
+        if self._in_slow_start:
+            self.inflight *= 2.0 ** (ctx.dt / ctx.rtt_measured)
+        else:
+            self.inflight += self.mss * ctx.dt / ctx.rtt_measured
+
+    def on_loss(self, now: float) -> None:
+        if not self._loss_guard(now):
+            return
+        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+        self._in_slow_start = False
+
+
+class FluidBBR(FluidFlow):
+    """BBRv1 as a fluid.
+
+    Faithful to the mechanism that matters for the paper's model: the flow
+    is *paced* at ``gain × bw_est`` (gain cycling through the 8-phase
+    PROBE_BW schedule), so its in-flight data evolves as
+    ``d(inflight)/dt = pacing − delivery`` and only grows when the pacer
+    outruns the bottleneck share — capped at ``2 × bw_est × rtt_min_est``
+    (assumption 2 of §2.3).  ``bw_est`` is a windowed max over 10
+    packet-timed rounds of its own delivery rate, ``rtt_min_est`` is
+    refreshed by a 200 ms ProbeRTT drain every 10 s (assumption 5), and
+    loss is ignored (assumption 4).
+    """
+
+    name = "bbr"
+    loss_based = False
+
+    #: ProbeRTT cadence and duration (seconds).
+    PROBE_RTT_INTERVAL = 10.0
+    PROBE_RTT_DURATION = 0.2
+    #: Bandwidth filter length, in packet-timed rounds (RTTs), as in the
+    #: BBR draft's BtlBwFilterLen.
+    BW_WINDOW_ROUNDS = 10.0
+    #: In-flight cap gain.
+    CWND_GAIN = 2.0
+    #: STARTUP pacing gain (2/ln 2).
+    HIGH_GAIN = 2.0 / math.log(2.0)
+    #: PROBE_BW pacing-gain cycle, one phase per rtt_min.
+    GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+        gain_cycling: bool = True,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self._bw_filter = WindowedMax(self.BW_WINDOW_ROUNDS * rtt)
+        self.rtt_min_est = rtt  # Fluid flows know no queue at t=0.
+        self._rtt_min_stamp = 0.0
+        self.gain_cycling = gain_cycling
+        self._in_startup = True
+        self._prev_bw = 0.0
+        self._plateau_count = 0
+        self._next_growth_check = 0.0
+        self._cycle_index = 2
+        self._cycle_stamp = 0.0
+        self._probe_rtt_until: Optional[float] = None
+        self._inflight_before_probe = 0.0
+
+    @property
+    def bw_est(self) -> float:
+        """Current bottleneck-bandwidth estimate (bytes/second)."""
+        value = self._bw_filter.get()
+        return value if value is not None else 0.0
+
+    def tick(self, ctx: TickContext) -> None:
+        now = ctx.now
+        self._last_rtt_measured = ctx.rtt_measured
+        # 10 packet-timed rounds at the current RTT (queueing included).
+        self._bw_filter.window = self.BW_WINDOW_ROUNDS * ctx.rtt_measured
+        if ctx.throughput > 0:
+            self._bw_filter.update(now, ctx.throughput)
+        self._update_rtt_min(now, ctx.rtt_measured)
+
+        if self._probe_rtt_until is not None:
+            if now < self._probe_rtt_until:
+                self.inflight = 4.0 * self.mss
+                return
+            # Exit ProbeRTT: restore the prior window in one burst.  The
+            # collective burst when several BBR flows exit together is what
+            # forces CUBIC synchronization (§5, "Forced synchronization").
+            self._probe_rtt_until = None
+            self._rtt_min_stamp = now
+            self._cycle_stamp = now
+            self.inflight = self._inflight_before_probe
+
+        if now - self._rtt_min_stamp > self.PROBE_RTT_INTERVAL:
+            # RTprop filter expired: drain to re-measure (state 4 of §2.1).
+            self._enter_probe_rtt(now)
+            self.rtt_min_est = ctx.rtt_measured
+            return
+
+        gain = self._current_gain(now)
+        bw = self.bw_est
+        pacing = gain * bw
+        if pacing <= 0:
+            # No estimate yet: pace the initial window over one RTT.
+            pacing = 10.0 * self.mss / self.rtt
+        # Sent-minus-delivered fluid balance.
+        self.inflight += (pacing - ctx.throughput) * ctx.dt
+        cap_gain = self.HIGH_GAIN if self._in_startup else self.CWND_GAIN
+        cap = cap_gain * bw * self.rtt_min_est
+        if cap > 0:
+            self.inflight = min(self.inflight, cap)
+        self.inflight = max(self.inflight, 4.0 * self.mss)
+
+        if self._in_startup:
+            self._check_startup_exit(ctx)
+
+    def _current_gain(self, now: float) -> float:
+        if self._in_startup:
+            return self.HIGH_GAIN
+        if not self.gain_cycling:
+            return 1.0
+        if now - self._cycle_stamp > self.rtt_min_est:
+            self._cycle_index = (self._cycle_index + 1) % len(
+                self.GAIN_CYCLE
+            )
+            self._cycle_stamp = now
+        return self.GAIN_CYCLE[self._cycle_index]
+
+    def _check_startup_exit(self, ctx: TickContext) -> None:
+        now = ctx.now
+        if now < self._next_growth_check:
+            return
+        self._next_growth_check = now + ctx.rtt_measured
+        bw = self.bw_est
+        if bw < self._prev_bw * 1.25:
+            self._plateau_count += 1
+        else:
+            self._plateau_count = 0
+            self._prev_bw = bw
+        if self._plateau_count >= 3:
+            self._in_startup = False
+            self._cycle_index = 2
+            self._cycle_stamp = now
+            # Drain: fall toward 1 estimated BDP before cruising.
+            target = bw * self.rtt_min_est
+            self.inflight = min(
+                self.inflight, max(target, 4.0 * self.mss)
+            )
+
+    def _update_rtt_min(self, now: float, rtt_measured: float) -> None:
+        # New minima refresh the estimate and the stamp; expiry is handled
+        # by entering ProbeRTT (which re-measures with the queue drained),
+        # never by silently accepting a bloated sample.
+        if rtt_measured <= self.rtt_min_est:
+            self.rtt_min_est = rtt_measured
+            self._rtt_min_stamp = now
+        elif self._probe_rtt_until is not None:
+            # During ProbeRTT our own queue share is gone; track the best
+            # (smallest) RTT observed while draining.
+            self.rtt_min_est = min(self.rtt_min_est, rtt_measured)
+
+    def _enter_probe_rtt(self, now: float) -> None:
+        self._probe_rtt_until = now + self.PROBE_RTT_DURATION
+        self._inflight_before_probe = self.inflight
+        self.inflight = 4.0 * self.mss
+
+
+class FluidBBR2(FluidBBR):
+    """BBRv2 as a fluid: BBR's estimators plus a loss-bounded in-flight
+    cap (β = 0.3 cut, 15% cruise headroom) and periodic cap re-probing."""
+
+    name = "bbr2"
+    loss_based = True
+
+    PROBE_RTT_INTERVAL = 5.0
+    #: Seconds between PROBE_UP attempts that grow inflight_hi.
+    PROBE_UP_INTERVAL = 3.0
+    HEADROOM = 0.85
+    BETA = 0.3
+    #: Per-round loss rate tolerated before cutting inflight_hi.
+    LOSS_THRESH = 0.02
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self.inflight_hi = float("inf")
+        self._next_probe_up = 0.0
+        self._round_lost = 0.0
+        self._round_delivered = 0.0
+        self._round_end = 0.0
+
+    def tick(self, ctx: TickContext) -> None:
+        super().tick(ctx)
+        now = ctx.now
+        self._round_lost += ctx.lost_bytes
+        self._round_delivered += ctx.throughput * ctx.dt
+        if now >= self._round_end:
+            self._round_end = now + ctx.rtt_measured
+            self._round_lost = 0.0
+            self._round_delivered = 0.0
+        if self._probe_rtt_until is not None:
+            return
+        if now >= self._next_probe_up and math.isfinite(self.inflight_hi):
+            # PROBE_UP: push the bound up to look for freed capacity.
+            self.inflight_hi *= 1.25
+            self._next_probe_up = now + self.PROBE_UP_INTERVAL
+        cap = self.HEADROOM * self.inflight_hi
+        if self.inflight > cap:
+            self.inflight = max(cap, 2.0 * self.mss)
+
+    def on_drop(self, now: float, dropped_bytes: float) -> None:
+        self._round_lost += dropped_bytes
+
+    def on_loss(self, now: float) -> None:
+        # BBRv2 tolerates up to LOSS_THRESH loss per round before bounding
+        # inflight (its model-based loss response, §4.6).
+        total = self._round_lost + self._round_delivered
+        if total <= 0 or self._round_lost / total <= self.LOSS_THRESH:
+            return
+        if not self._loss_guard(now):
+            return
+        bound = min(self.inflight_hi, self.inflight)
+        self.inflight_hi = max(bound * (1.0 - self.BETA), 2.0 * self.mss)
+        self.inflight = min(self.inflight, self.inflight_hi)
+        self._next_probe_up = now + self.PROBE_UP_INTERVAL
+
+
+class FluidVegas(FluidFlow):
+    """TCP Vegas as a fluid: ±1 MSS/RTT toward 2–4 packets of queue.
+
+    The canonical delay-based loser against buffer-fillers (see
+    :mod:`repro.cc.vegas`); included for game-theoretic comparisons with
+    the Reno/Vegas literature the paper cites.
+    """
+
+    name = "vegas"
+    loss_based = True
+
+    ALPHA = 2.0
+    BETA = 4.0
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self._base_rtt = rtt
+        self._in_slow_start = True
+
+    def tick(self, ctx: TickContext) -> None:
+        self._last_rtt_measured = ctx.rtt_measured
+        self._base_rtt = min(self._base_rtt, ctx.rtt_measured)
+        # Own queued packets: cwnd·(RTT − base)/RTT, in MSS.
+        diff = (
+            self.inflight
+            * (ctx.rtt_measured - self._base_rtt)
+            / (ctx.rtt_measured * self.mss)
+        )
+        per_rtt = self.mss * ctx.dt / ctx.rtt_measured
+        if self._in_slow_start:
+            if diff > 1.0:
+                self._in_slow_start = False
+            else:
+                # Doubling every other RTT averages to ×2 per 2 RTTs.
+                self.inflight *= 2.0 ** (ctx.dt / (2 * ctx.rtt_measured))
+                return
+        if diff < self.ALPHA:
+            self.inflight += per_rtt
+        elif diff > self.BETA:
+            self.inflight = max(self.inflight - per_rtt, 2.0 * self.mss)
+
+    def on_loss(self, now: float) -> None:
+        if not self._loss_guard(now):
+            return
+        self._in_slow_start = False
+        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+
+
+class FluidCopa(FluidFlow):
+    """Copa as a fluid: rate targeting 1/(δ·queuing delay) with velocity."""
+
+    name = "copa"
+    loss_based = True
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+        delta: float = 0.5,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+        self._rtt_min_filter = WindowedMin(10.0)
+        self.velocity = 1.0
+        self._direction = 0
+        self._same_direction = 0
+        self._next_velocity_update = 0.0
+
+    def tick(self, ctx: TickContext) -> None:
+        now = ctx.now
+        self._last_rtt_measured = ctx.rtt_measured
+        rtt_min = self._rtt_min_filter.update(now, ctx.rtt_measured)
+        dq = max(ctx.rtt_measured - rtt_min, 0.0)
+        if dq <= 1e-9:
+            target_rate = float("inf")
+        else:
+            target_rate = self.mss / (self.delta * dq)
+        current_rate = self.inflight / ctx.rtt_measured
+
+        direction = 1 if current_rate <= target_rate else -1
+        if direction != self._direction:
+            # Copa resets velocity the moment the direction flips; gating
+            # this on the once-per-RTT check lets a stale high velocity
+            # fling the window across its equilibrium.
+            self.velocity = 1.0
+            self._same_direction = 0
+        elif now >= self._next_velocity_update:
+            self._next_velocity_update = now + ctx.rtt_measured
+            self._same_direction += 1
+            if self._same_direction >= 3:
+                self.velocity = min(self.velocity * 2.0, 1e6)
+
+        acked_pkts = ctx.throughput * ctx.dt / self.mss
+        step = (
+            self.velocity
+            * self.mss
+            * self.mss
+            * acked_pkts
+            / (self.delta * max(self.inflight, self.mss))
+        )
+        # One tick's adjustment cannot exceed the window itself.
+        step = min(step, self.inflight)
+        self.inflight = max(
+            self.inflight + direction * step, 2.0 * self.mss
+        )
+        self._direction = direction
+
+    def on_loss(self, now: float) -> None:
+        if not self._loss_guard(now):
+            return
+        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+        self.velocity = 1.0
+
+
+class FluidVivace(FluidFlow):
+    """PCC Vivace as a fluid: paired monitor intervals probing r(1±ε).
+
+    The utility is ``x^0.9 − b·x·max(0, dRTT/dt) − c·x·L``.  The paper
+    does not say which Vivace variant it ran; its Figure 7 result (a
+    disproportionately *large* share against CUBIC when Vivace flows are
+    few) matches Vivace-Loss (``b = 0``), since the latency-sensitive
+    variant concedes to buffer-filling competitors by design (Vivace §3).
+    ``latency_coeff`` therefore defaults to 0; pass 900 for the
+    latency-sensitive variant.
+    """
+
+    name = "vivace"
+    loss_based = False
+
+    EPSILON = 0.05
+    MAX_AMPLIFIER = 8.0
+    MIN_RATE = 15_000.0  # bytes/second
+
+    def __init__(
+        self,
+        flow_id: int,
+        rtt: float,
+        start_time: float = 0.0,
+        mss: int = 1500,
+        initial_rate: float = 125_000.0,
+        latency_coeff: float = 0.0,
+        loss_coeff: float = 11.35,
+    ) -> None:
+        super().__init__(flow_id, rtt, start_time, mss)
+        self.latency_coeff = latency_coeff
+        self.loss_coeff = loss_coeff
+        self.rate = initial_rate
+        self._mi_phase = 0
+        self._mi_start: Optional[float] = None
+        self._mi_end = 0.0
+        self._mi_delivered = 0.0
+        self._mi_lost = 0.0
+        self._mi_qd_start = 0.0
+        self._last_qd = 0.0
+        self._pair: List[float] = []
+        self._amplifier = 1.0
+        self._last_direction = 0
+
+    def utility(
+        self, rate: float, rtt_gradient: float, loss_rate: float
+    ) -> float:
+        """Vivace utility, rate in bytes/s scored in Mbps (NSDI'18 form)."""
+        x = rate * 8.0 / 1e6
+        if x <= 0:
+            return 0.0
+        return (
+            x ** 0.9
+            - self.latency_coeff * x * max(0.0, rtt_gradient)
+            - self.loss_coeff * x * loss_rate
+        )
+
+    def _probe_rate(self) -> float:
+        # The probe pair must stay distinct even at the rate floor, or the
+        # gradient degenerates and the flow can never climb back up.
+        factor = 1.0 + self.EPSILON if self._mi_phase == 0 else 1.0 - self.EPSILON
+        return self.rate * factor
+
+    def tick(self, ctx: TickContext) -> None:
+        now = ctx.now
+        self._last_rtt_measured = ctx.rtt_measured
+        if self._mi_start is None:
+            self._begin_mi(now, ctx)
+        self._mi_delivered += ctx.throughput * ctx.dt
+        self._mi_lost += ctx.lost_bytes
+        self._last_qd = ctx.queue_delay
+        if now >= self._mi_end:
+            self._finish_mi(now, ctx)
+        self.inflight = max(
+            self._probe_rate() * ctx.rtt_measured, 2.0 * self.mss
+        )
+
+    def on_drop(self, now: float, dropped_bytes: float) -> None:
+        self._mi_lost += dropped_bytes
+
+    def _begin_mi(self, now: float, ctx: TickContext) -> None:
+        self._mi_start = now
+        self._mi_end = now + max(ctx.rtt_measured, 4 * ctx.dt)
+        self._mi_delivered = 0.0
+        self._mi_lost = 0.0
+        self._mi_qd_start = ctx.queue_delay
+
+    def _finish_mi(self, now: float, ctx: TickContext) -> None:
+        assert self._mi_start is not None
+        elapsed = max(now - self._mi_start, 1e-6)
+        achieved = self._mi_delivered / elapsed
+        total = self._mi_delivered + self._mi_lost
+        loss_rate = self._mi_lost / total if total > 0 else 0.0
+        rtt_gradient = (self._last_qd - self._mi_qd_start) / elapsed
+        self._pair.append(self.utility(achieved, rtt_gradient, loss_rate))
+        if self._mi_phase == 0:
+            self._mi_phase = 1
+        else:
+            self._mi_phase = 0
+            self._apply_step()
+            self._pair = []
+        self._begin_mi(now, ctx)
+
+    def _apply_step(self) -> None:
+        if len(self._pair) != 2:
+            return
+        u_plus, u_minus = self._pair
+        if u_plus == u_minus:
+            # No gradient signal: hold the rate, drop the confidence.
+            self._amplifier = 1.0
+            self._last_direction = 0
+            return
+        direction = 1 if u_plus > u_minus else -1
+        if direction == self._last_direction:
+            self._amplifier = min(self._amplifier * 2.0, self.MAX_AMPLIFIER)
+        else:
+            self._amplifier = 1.0
+        self._last_direction = direction
+        self.rate = max(
+            self.rate + direction * self.EPSILON * self._amplifier * self.rate,
+            self.MIN_RATE,
+        )
+
+
+_FLUID_REGISTRY: Dict[str, Callable[..., FluidFlow]] = {
+    "cubic": FluidCubic,
+    "reno": FluidReno,
+    "vegas": FluidVegas,
+    "bbr": FluidBBR,
+    "bbr2": FluidBBR2,
+    "copa": FluidCopa,
+    "vivace": FluidVivace,
+}
+
+
+def make_fluid_flow(name: str, **kwargs: object) -> FluidFlow:
+    """Instantiate a fluid flow class by congestion-control name."""
+    key = name.lower()
+    if key not in _FLUID_REGISTRY:
+        raise KeyError(
+            f"unknown fluid congestion control {name!r}; "
+            f"available: {sorted(_FLUID_REGISTRY)}"
+        )
+    return _FLUID_REGISTRY[key](**kwargs)
+
+
+def available_fluid_algorithms() -> List[str]:
+    """Names of all fluid congestion-control dynamics."""
+    return sorted(_FLUID_REGISTRY)

@@ -1,0 +1,284 @@
+"""Sender and receiver endpoints for the packet-level simulator.
+
+The sender is a bulk (always-backlogged) source, like the iperf senders in
+the paper's testbed.  It enforces the congestion controller's cwnd, paces
+packets when the controller requests it (BBR-family), detects losses from
+ACK gaps (the network never reorders, so a gap of more than
+``REORDER_THRESHOLD`` packets means a drop), and maintains a retransmission
+timeout as a last resort for tail losses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.cc.base import CongestionControl
+from repro.sim.engine import EventLoop
+from repro.sim.packet import Ack, LossEvent, Packet, RateSample
+from repro.sim.stats import FlowStats
+
+#: Packets of reordering tolerated before a gap is declared a loss
+#: (fast-retransmit style dupack threshold).
+REORDER_THRESHOLD = 3
+
+#: Minimum retransmission timeout, seconds.
+MIN_RTO = 0.2
+
+
+class Sender:
+    """A bulk TCP-like sender driving one congestion controller.
+
+    Args:
+        loop: Simulation event loop.
+        flow_id: Unique flow identifier.
+        cc: The congestion controller instance.
+        transmit: Callback that injects a packet into the network.
+        stats: Statistics recorder for this flow.
+        start_time: Absolute time at which the flow starts sending.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        flow_id: int,
+        cc: CongestionControl,
+        transmit: Callable[[Packet], None],
+        stats: FlowStats,
+        start_time: float = 0.0,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.loop = loop
+        self.flow_id = flow_id
+        self.cc = cc
+        self.transmit = transmit
+        self.stats = stats
+        self.mss = cc.mss
+        self.max_bytes = max_bytes
+
+        self._next_seq = 0
+        self._in_flight_bytes = 0
+        self._outstanding: Dict[int, Packet] = {}
+        self._order: Deque[int] = deque()
+        self._delivered = 0
+        self._delivered_time = 0.0
+        self._next_send_time = 0.0
+        self._send_timer_pending = False
+        self._srtt: Optional[float] = None
+        self._last_ack_time = start_time
+        self._rto_pending = False
+        self._highest_acked = -1
+
+        loop.call_at(start_time, self._on_start)
+
+    @property
+    def in_flight_bytes(self) -> int:
+        """Bytes currently unacknowledged and not declared lost."""
+        return self._in_flight_bytes
+
+    def _on_start(self) -> None:
+        self._delivered_time = self.loop.now
+        self._last_ack_time = self.loop.now
+        self._arm_rto()
+        self._maybe_send()
+
+    # -- transmission ----------------------------------------------------
+
+    @property
+    def done_sending(self) -> bool:
+        """True once a finite flow has transmitted its whole transfer."""
+        return (
+            self.max_bytes is not None
+            and self._next_seq * self.mss >= self.max_bytes
+        )
+
+    def _maybe_send(self) -> None:
+        """Send packets while cwnd (and the pacer) permit."""
+        now = self.loop.now
+        while (
+            not self.done_sending
+            and self._in_flight_bytes + self.mss <= self.cc.cwnd
+        ):
+            rate = self.cc.pacing_rate
+            if rate is not None and rate > 0:
+                if now < self._next_send_time:
+                    self._arm_send_timer(self._next_send_time)
+                    return
+                gap = self.mss / rate
+                base = max(self._next_send_time, now - gap)
+                self._next_send_time = base + gap
+            self._send_packet(now)
+
+    def _arm_send_timer(self, when: float) -> None:
+        if self._send_timer_pending:
+            return
+        self._send_timer_pending = True
+
+        def fire() -> None:
+            self._send_timer_pending = False
+            self._maybe_send()
+
+        self.loop.call_at(when, fire)
+
+    def _send_packet(self, now: float) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self._next_seq,
+            size=self.mss,
+            sent_time=now,
+            delivered_at_send=self._delivered,
+            delivered_time_at_send=self._delivered_time,
+            app_limited=False,
+            is_retransmit=False,
+        )
+        self._next_seq += 1
+        self._outstanding[packet.seq] = packet
+        self._order.append(packet.seq)
+        self._in_flight_bytes += packet.size
+        self.stats.sent_packets += 1
+        self.cc.on_sent(now, self._in_flight_bytes)
+        self.transmit(packet)
+
+    # -- acknowledgements ------------------------------------------------
+
+    def on_ack(self, ack: Ack) -> None:
+        """Process an ACK delivered by the reverse path."""
+        now = self.loop.now
+        packet = self._outstanding.pop(ack.seq, None)
+        if packet is None:
+            return  # ACK for a packet already declared lost.
+        self._last_ack_time = now
+        self._in_flight_bytes -= packet.size
+        self._delivered += packet.size
+        self._delivered_time = now
+        if ack.seq > self._highest_acked:
+            self._highest_acked = ack.seq
+
+        rtt = now - packet.sent_time
+        self._srtt = (
+            rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
+        )
+        self.stats.record_rtt(rtt)
+        self.stats.ack_count += 1
+
+        delivery_rate = 0.0
+        interval = now - packet.delivered_time_at_send
+        if interval > 0:
+            delivery_rate = (
+                self._delivered - packet.delivered_at_send
+            ) / interval
+
+        self._detect_losses(ack.seq)
+
+        sample = RateSample(
+            rtt=rtt,
+            delivery_rate=delivery_rate,
+            delivered=self._delivered,
+            delivered_at_send=packet.delivered_at_send,
+            acked_bytes=packet.size,
+            in_flight=self._in_flight_bytes,
+            is_app_limited=packet.app_limited,
+            now=now,
+        )
+        self.cc.on_ack(sample)
+        self.cc.clamp_cwnd()
+        self._maybe_send()
+
+    def _detect_losses(self, acked_seq: int) -> None:
+        """Declare outstanding packets below the ACKed seq lost (gap-based)."""
+        lost_bytes = 0
+        lost_packets = 0
+        while self._order:
+            seq = self._order[0]
+            if seq not in self._outstanding:
+                self._order.popleft()
+                continue
+            if seq >= acked_seq - (REORDER_THRESHOLD - 1):
+                break
+            packet = self._outstanding.pop(seq)
+            self._order.popleft()
+            self._in_flight_bytes -= packet.size
+            lost_bytes += packet.size
+            lost_packets += 1
+        if lost_packets:
+            self.stats.record_loss(lost_packets)
+            event = LossEvent(
+                lost_bytes=lost_bytes,
+                in_flight=self._in_flight_bytes,
+                now=self.loop.now,
+                lost_packets=lost_packets,
+            )
+            self.cc.on_loss(event)
+            self.cc.clamp_cwnd()
+
+    # -- retransmission timeout ------------------------------------------
+
+    def _rto_interval(self) -> float:
+        if self._srtt is None:
+            return 1.0
+        return max(MIN_RTO, 4.0 * self._srtt)
+
+    def _arm_rto(self) -> None:
+        if self._rto_pending:
+            return
+        self._rto_pending = True
+        self.loop.call_later(self._rto_interval(), self._on_rto_timer)
+
+    def _on_rto_timer(self) -> None:
+        self._rto_pending = False
+        if self.done_sending and not self._outstanding:
+            return  # Finite flow complete: stop rearming the timer.
+        now = self.loop.now
+        idle = now - self._last_ack_time
+        if self._outstanding and idle >= self._rto_interval():
+            # Everything in flight is presumed lost (tail loss).
+            lost_bytes = self._in_flight_bytes
+            lost_packets = len(self._outstanding)
+            self._outstanding.clear()
+            self._order.clear()
+            self._in_flight_bytes = 0
+            self.stats.record_loss(lost_packets)
+            self.cc.on_loss(
+                LossEvent(
+                    lost_bytes=lost_bytes,
+                    in_flight=0,
+                    now=now,
+                    lost_packets=lost_packets,
+                )
+            )
+            self.cc.clamp_cwnd()
+            self._last_ack_time = now
+            self._maybe_send()
+        self._arm_rto()
+
+
+class Receiver:
+    """Per-flow receiver: records deliveries and echoes ACKs."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        stats: FlowStats,
+        send_ack: Callable[[Ack], None],
+    ) -> None:
+        self.loop = loop
+        self.stats = stats
+        self.send_ack = send_ack
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle a data packet exiting the network."""
+        now = self.loop.now
+        self.stats.record_delivery(now, packet.size)
+        ack = Ack(
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            size=packet.size,
+            data_sent_time=packet.sent_time,
+            delivered_at_send=packet.delivered_at_send,
+            delivered_time_at_send=packet.delivered_time_at_send,
+            app_limited=packet.app_limited,
+            recv_time=now,
+        )
+        self.send_ack(ack)

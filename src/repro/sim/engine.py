@@ -1,0 +1,105 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop built on :mod:`heapq`.  Events are ``(time,
+sequence, callback)`` triples; the sequence number breaks ties so that
+events scheduled earlier run earlier, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_at(0.0, start_flow)
+        loop.run_until(120.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event in the past: {when} < {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.call_at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Run events in order until the clock reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed.  The clock is
+        left at ``end_time`` even if the queue drains early.
+        """
+        self._running = True
+        queue = self._queue
+        try:
+            while queue and self._running:
+                when, _seq, callback = queue[0]
+                if when > end_time:
+                    break
+                heapq.heappop(queue)
+                self._now = when
+                callback()
+        finally:
+            self._running = False
+        if self._now < end_time:
+            self._now = end_time
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue is empty; returns the number of events run.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        self._running = True
+        count = 0
+        queue = self._queue
+        try:
+            while queue and self._running:
+                when, _seq, callback = heapq.heappop(queue)
+                self._now = when
+                callback()
+                count += 1
+                if count >= max_events:
+                    raise RuntimeError(
+                        f"event loop exceeded {max_events} events"
+                    )
+        finally:
+            self._running = False
+        return count
+
+    def stop(self) -> None:
+        """Stop a ``run_until``/``run_all`` after the current event."""
+        self._running = False
+
+    def pending(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]

@@ -1,0 +1,191 @@
+"""Bottleneck link with a FIFO drop-tail queue.
+
+This is the network element at the center of every experiment in the paper
+(Figure 2): a fixed-capacity link fed by a drop-tail buffer, followed by a
+fixed propagation delay.  The link serializes packets one at a time at
+``capacity`` bytes/second; packets arriving while it is busy wait in the
+queue, and packets arriving when the queue is full are dropped (and the
+drop reported to the :class:`~repro.sim.stats.LinkStats` recorder).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sim.engine import EventLoop
+from repro.sim.packet import Packet
+
+
+class LinkStats:
+    """Aggregate counters and a queue-occupancy time integral for one link."""
+
+    def __init__(self) -> None:
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self._occupancy_integral = 0.0
+        self._last_change_time = 0.0
+        self._last_occupancy = 0
+
+    def record_occupancy(self, now: float, occupancy_bytes: int) -> None:
+        """Accumulate the time-weighted queue occupancy integral."""
+        self._occupancy_integral += self._last_occupancy * (
+            now - self._last_change_time
+        )
+        self._last_change_time = now
+        self._last_occupancy = occupancy_bytes
+
+    def mean_occupancy(self, now: float) -> float:
+        """Time-averaged queue occupancy in bytes over [0, now]."""
+        if now <= 0:
+            return 0.0
+        total = self._occupancy_integral + self._last_occupancy * (
+            now - self._last_change_time
+        )
+        return total / now
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.forwarded_packets + self.dropped_packets
+        if offered == 0:
+            return 0.0
+        return self.dropped_packets / offered
+
+
+class Link:
+    """A drop-tail bottleneck: FIFO buffer + serializer + propagation delay.
+
+    Args:
+        loop: The event loop driving the simulation.
+        capacity: Serialization rate in bytes per second.
+        delay: One-way propagation delay in seconds, applied after
+            serialization.
+        buffer_bytes: Drop-tail buffer capacity in bytes.  The packet
+            currently being serialized does not count against the buffer,
+            matching how token-bucket emulators (and the paper's model)
+            account for buffer space.
+        deliver: Callback invoked with each packet when it exits the link.
+        on_drop: Optional callback invoked with each dropped packet.
+        aqm: Optional :class:`repro.sim.aqm.RED` instance; when present,
+            arriving packets may be dropped early even though the
+            physical buffer still has room (the drop-tail limit is still
+            enforced on top).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        capacity: float,
+        delay: float,
+        buffer_bytes: float,
+        deliver: Callable[[Packet], None],
+        on_drop: Optional[Callable[[Packet], None]] = None,
+        aqm: Optional[object] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if buffer_bytes <= 0:
+            raise ValueError(
+                f"buffer_bytes must be positive, got {buffer_bytes}"
+            )
+        self.loop = loop
+        self.capacity = capacity
+        self.delay = delay
+        self.buffer_bytes = buffer_bytes
+        self.deliver = deliver
+        self.on_drop = on_drop
+        self.aqm = aqm
+        self.stats = LinkStats()
+        self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
+        self._queued_bytes = 0
+        self._busy = False
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the buffer (excludes in-service)."""
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        """Packets currently waiting in the buffer."""
+        return len(self._queue)
+
+    def queuing_delay(self) -> float:
+        """Delay a packet arriving now would experience before service."""
+        return self._queued_bytes / self.capacity
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the link; returns False if it was dropped."""
+        if self.aqm is not None and self.aqm.on_enqueue(
+            self._queued_bytes
+        ):
+            self._record_drop(packet)
+            return False
+        if self._busy:
+            if self._queued_bytes + packet.size > self.buffer_bytes:
+                self._record_drop(packet)
+                return False
+            self._queue.append((packet, self.loop.now))
+            self._queued_bytes += packet.size
+            self.stats.record_occupancy(self.loop.now, self._queued_bytes)
+        else:
+            self._start_service(packet)
+        return True
+
+    def _record_drop(self, packet: Packet) -> None:
+        self.stats.dropped_packets += 1
+        self.stats.dropped_bytes += packet.size
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def _start_service(self, packet: Packet) -> None:
+        self._busy = True
+        service_time = packet.size / self.capacity
+        self.loop.call_later(
+            service_time, lambda p=packet: self._finish_service(p)
+        )
+
+    def _finish_service(self, packet: Packet) -> None:
+        self.stats.forwarded_packets += 1
+        self.stats.forwarded_bytes += packet.size
+        # Propagation: deliver after the one-way delay.
+        self.loop.call_later(self.delay, lambda p=packet: self.deliver(p))
+        now = self.loop.now
+        while self._queue:
+            nxt, enqueued_at = self._queue.popleft()
+            self._queued_bytes -= nxt.size
+            self.stats.record_occupancy(now, self._queued_bytes)
+            if self.aqm is not None and self.aqm.on_dequeue(
+                now, now - enqueued_at
+            ):
+                # Head drop (CoDel-style): discard and try the next one.
+                self._record_drop(nxt)
+                continue
+            self._start_service(nxt)
+            return
+        self._busy = False
+
+
+class DelayLine:
+    """A pure delay element (used for the uncongested reverse ACK path)."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        delay: float,
+        deliver: Callable[[object], None],
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.loop = loop
+        self.delay = delay
+        self.deliver = deliver
+
+    def send(self, item: object) -> None:
+        """Deliver ``item`` after the configured delay."""
+        self.loop.call_later(self.delay, lambda it=item: self.deliver(it))

@@ -1,0 +1,79 @@
+"""Packet and ACK records for the packet-level simulator.
+
+The sender implements delivery-rate estimation in the style used by Linux
+TCP (and required by BBR): every data packet snapshots the connection's
+``delivered`` counter when it is sent, and the matching ACK turns that
+snapshot into a :class:`~repro.cc.signals.RateSample`.
+
+:class:`RateSample` and :class:`LossEvent` are defined in
+:mod:`repro.cc.signals` (they are the controller-facing interface) and
+re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.signals import LossEvent, RateSample
+
+__all__ = ["Packet", "Ack", "RateSample", "LossEvent"]
+
+
+@dataclass
+class Packet:
+    """A data segment traversing the dumbbell network.
+
+    ``delivered_at_send``/``delivered_time_at_send`` snapshot the sender's
+    delivery counter so the ACK can compute a delivery-rate sample, exactly
+    like Linux's ``tcp_rate_skb_sent``.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size",
+        "sent_time",
+        "delivered_at_send",
+        "delivered_time_at_send",
+        "app_limited",
+        "is_retransmit",
+    )
+
+    flow_id: int
+    seq: int
+    size: int
+    sent_time: float
+    delivered_at_send: int
+    delivered_time_at_send: float
+    app_limited: bool
+    is_retransmit: bool
+
+
+@dataclass
+class Ack:
+    """Acknowledgement for a single data packet (QUIC-style per-packet ACK).
+
+    The receiver echoes the data packet's bookkeeping fields so the sender
+    can reconstruct RTT and delivery-rate samples without per-connection
+    state at the receiver.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size",
+        "data_sent_time",
+        "delivered_at_send",
+        "delivered_time_at_send",
+        "app_limited",
+        "recv_time",
+    )
+
+    flow_id: int
+    seq: int
+    size: int
+    data_sent_time: float
+    delivered_at_send: int
+    delivered_time_at_send: float
+    app_limited: bool
+    recv_time: float

@@ -1,0 +1,80 @@
+"""Per-flow statistics collection for the packet-level simulator.
+
+Throughput is measured receiver-side (delivered bytes), binned into fixed
+intervals so experiments can exclude warm-up transients — mirroring how the
+paper measures iperf goodput over 2-minute flows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class FlowStats:
+    """Counters and binned delivery record for a single flow."""
+
+    def __init__(self, flow_id: int, bin_width: float = 0.1) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        self.flow_id = flow_id
+        self.bin_width = bin_width
+        self.delivered_bytes = 0
+        self.sent_packets = 0
+        self.lost_packets = 0
+        self.ack_count = 0
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self.min_rtt: Optional[float] = None
+        self.max_rtt: Optional[float] = None
+        self._bins: Dict[int, int] = defaultdict(int)
+
+    def record_delivery(self, now: float, size: int) -> None:
+        """Record ``size`` bytes delivered to the receiver at time ``now``."""
+        self.delivered_bytes += size
+        self._bins[int(now / self.bin_width)] += size
+
+    def record_rtt(self, rtt: float) -> None:
+        """Record an RTT sample measured by an ACK."""
+        self._rtt_sum += rtt
+        self._rtt_count += 1
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.max_rtt is None or rtt > self.max_rtt:
+            self.max_rtt = rtt
+
+    def record_loss(self, packets: int = 1) -> None:
+        """Record packets declared lost by the sender."""
+        self.lost_packets += packets
+
+    @property
+    def mean_rtt(self) -> Optional[float]:
+        """Mean of all RTT samples, or None if no ACKs were received."""
+        if self._rtt_count == 0:
+            return None
+        return self._rtt_sum / self._rtt_count
+
+    def throughput(self, start: float, end: float) -> float:
+        """Mean delivered rate in bytes/second over ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        first = int(start / self.bin_width)
+        last = int(end / self.bin_width)
+        total = sum(
+            size for idx, size in self._bins.items() if first <= idx < last
+        )
+        return total / (end - start)
+
+    def throughput_series(self, end: float) -> List[float]:
+        """Delivered rate per bin (bytes/second) from time 0 to ``end``."""
+        n_bins = int(end / self.bin_width)
+        return [
+            self._bins.get(i, 0) / self.bin_width for i in range(n_bins)
+        ]
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets declared lost."""
+        if self.sent_packets == 0:
+            return 0.0
+        return self.lost_packets / self.sent_packets

@@ -1,0 +1,88 @@
+"""Periodic controller-state tracing for the packet-level simulator.
+
+Attach a :class:`CwndTracer` to a :class:`~repro.sim.network.DumbbellNetwork`
+before ``run()`` to sample every sender's cwnd, pacing rate, and (for
+BBR-family controllers) state-machine state at a fixed interval.  This is
+the tooling equivalent of the kernel's ``ss -i`` polling that testbed
+studies rely on, and what lets tests assert things like "the BBR flow
+really was cwnd-limited" (§5) or "the CUBIC flows were synchronized"
+(§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.network import DumbbellNetwork
+
+
+@dataclass
+class TraceSample:
+    """One polled snapshot of one flow's controller."""
+
+    time: float
+    flow_id: int
+    cwnd: float
+    in_flight: int
+    pacing_rate: Optional[float]
+    state: Optional[str]
+
+
+@dataclass
+class CwndTracer:
+    """Polls all senders of a dumbbell at a fixed interval.
+
+    Args:
+        network: The dumbbell to trace.
+        interval: Sampling period in seconds.
+    """
+
+    network: DumbbellNetwork
+    interval: float
+    samples: List[TraceSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                f"interval must be positive, got {self.interval}"
+            )
+        self.network.loop.call_later(self.interval, self._poll)
+
+    def _poll(self) -> None:
+        now = self.network.loop.now
+        for sender in self.network.senders:
+            cc = sender.cc
+            self.samples.append(
+                TraceSample(
+                    time=now,
+                    flow_id=sender.flow_id,
+                    cwnd=cc.cwnd,
+                    in_flight=sender.in_flight_bytes,
+                    pacing_rate=cc.pacing_rate,
+                    state=getattr(cc, "state", None),
+                )
+            )
+        self.network.loop.call_later(self.interval, self._poll)
+
+    def for_flow(self, flow_id: int) -> List[TraceSample]:
+        """All samples of one flow, in time order."""
+        return [s for s in self.samples if s.flow_id == flow_id]
+
+    def series(self, flow_id: int, attribute: str):
+        """(times, values) arrays for one flow attribute, e.g. "cwnd"."""
+        flow_samples = self.for_flow(flow_id)
+        times = [s.time for s in flow_samples]
+        values = [getattr(s, attribute) for s in flow_samples]
+        return times, values
+
+    def state_durations(self, flow_id: int) -> Dict[str, float]:
+        """Approximate time spent per state (BBR-family flows)."""
+        durations: Dict[str, float] = {}
+        for sample in self.for_flow(flow_id):
+            if sample.state is None:
+                continue
+            durations[sample.state] = (
+                durations.get(sample.state, 0.0) + self.interval
+            )
+        return durations

@@ -1,0 +1,39 @@
+"""Shared utilities: unit conversions, link configuration, and filters.
+
+This package holds the small, dependency-free building blocks used by both
+the analytical models (:mod:`repro.core`) and the simulators
+(:mod:`repro.sim`, :mod:`repro.fluidsim`).
+"""
+
+from repro.util.config import LinkConfig
+from repro.util.filters import Ewma, WindowedFilter, WindowedMax, WindowedMin
+from repro.util.units import (
+    MSS_BYTES,
+    bits_to_bytes,
+    bytes_to_bits,
+    bytes_to_mbit,
+    bytes_to_packets,
+    mbps_to_bps,
+    mbps_to_bytes_per_sec,
+    ms_to_s,
+    packets_to_bytes,
+    s_to_ms,
+)
+
+__all__ = [
+    "LinkConfig",
+    "Ewma",
+    "WindowedFilter",
+    "WindowedMax",
+    "WindowedMin",
+    "MSS_BYTES",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bytes_to_mbit",
+    "bytes_to_packets",
+    "mbps_to_bps",
+    "mbps_to_bytes_per_sec",
+    "ms_to_s",
+    "packets_to_bytes",
+    "s_to_ms",
+]

@@ -1,0 +1,105 @@
+"""Time-windowed min/max filters and an EWMA.
+
+BBR's control loop is built on two windowed estimators: a windowed-max
+filter over delivery-rate samples (the bottleneck bandwidth estimate,
+window of roughly 10 RTTs) and a windowed-min filter over RTT samples
+(``RTT_min``, window of 10 seconds).  These are re-implemented here and
+used by both :class:`repro.cc.bbr.BBRv1` and the fluid BBR flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+
+class WindowedFilter:
+    """Track the best value seen within a sliding time window.
+
+    Samples are ``(time, value)`` pairs; ``update`` keeps a monotonic deque
+    so that queries are O(1) amortized.  ``better(a, b)`` returns True when
+    ``a`` should shadow ``b`` (e.g. ``a >= b`` for a max filter).
+    """
+
+    def __init__(self, window: float, better: Callable[[float, float], bool]):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._better = better
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def update(self, now: float, value: float) -> float:
+        """Insert a sample taken at time ``now`` and return the current best."""
+        self._expire(now)
+        while self._samples and self._better(value, self._samples[-1][1]):
+            self._samples.pop()
+        self._samples.append((now, value))
+        return self._samples[0][1]
+
+    def get(self, now: Optional[float] = None) -> Optional[float]:
+        """Return the best value in the window, or None if empty.
+
+        Passing ``now`` expires stale samples first.
+        """
+        if now is not None:
+            self._expire(now)
+        if not self._samples:
+            return None
+        return self._samples[0][1]
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._samples.clear()
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class WindowedMax(WindowedFilter):
+    """Windowed maximum (BBR's bottleneck-bandwidth filter)."""
+
+    def __init__(self, window: float):
+        super().__init__(window, lambda a, b: a >= b)
+
+
+class WindowedMin(WindowedFilter):
+    """Windowed minimum (BBR's RTT_min filter)."""
+
+    def __init__(self, window: float):
+        super().__init__(window, lambda a, b: a <= b)
+
+
+class Ewma:
+    """Exponentially weighted moving average with optional bias correction.
+
+    Used for smoothed RTT/throughput reporting in the experiment harness and
+    by the Copa implementation for its "standing RTT" style estimates.
+    """
+
+    def __init__(self, alpha: float):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        """Fold in a sample and return the new average."""
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = (1 - self.alpha) * self._value + self.alpha * sample
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average, or None before the first sample."""
+        return self._value
+
+    def reset(self) -> None:
+        """Forget the current average."""
+        self._value = None

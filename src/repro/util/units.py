@@ -1,0 +1,68 @@
+"""Unit conversions used throughout the reproduction.
+
+Internally the library standardizes on:
+
+* **bytes** for data quantities (buffer sizes, windows, in-flight data),
+* **bytes per second** for rates (link capacities, per-flow bandwidth),
+* **seconds** for times (RTTs, durations, queuing delays).
+
+The paper's figures use Mbps for bandwidth and milliseconds for RTTs, so the
+experiment harness converts at the edges with the helpers below.
+"""
+
+from __future__ import annotations
+
+#: Maximum segment size in bytes. The paper's testbed uses standard Ethernet
+#: framing; 1500-byte packets are also what the Ware et al. model assumes
+#: when it counts the buffer in packets.
+MSS_BYTES = 1500
+
+
+def mbps_to_bps(mbps: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return mbps * 1e6
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return mbps * 1e6 / 8.0
+
+
+def bytes_per_sec_to_mbps(rate: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return rate * 8.0 / 1e6
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert bytes to bits."""
+    return n_bytes * 8.0
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert bits to bytes."""
+    return n_bits / 8.0
+
+
+def bytes_to_mbit(n_bytes: float) -> float:
+    """Convert bytes to megabits."""
+    return n_bytes * 8.0 / 1e6
+
+
+def bytes_to_packets(n_bytes: float, mss: int = MSS_BYTES) -> float:
+    """Convert a byte count to an (fractional) MSS-sized packet count."""
+    return n_bytes / float(mss)
+
+
+def packets_to_bytes(n_packets: float, mss: int = MSS_BYTES) -> float:
+    """Convert an MSS-sized packet count to bytes."""
+    return n_packets * float(mss)
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1e3
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s * 1e3

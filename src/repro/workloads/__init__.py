@@ -1,0 +1,22 @@
+"""Workload generators: long-lived, Poisson short-flow, and on/off
+populations for probing beyond the paper's long-flow regime (§5)."""
+
+from repro.workloads.generator import (
+    WorkloadFlow,
+    expected_offered_load,
+    long_lived,
+    on_off_flows,
+    poisson_short_flows,
+    to_flow_specs,
+    to_fluid_specs,
+)
+
+__all__ = [
+    "WorkloadFlow",
+    "expected_offered_load",
+    "long_lived",
+    "on_off_flows",
+    "poisson_short_flows",
+    "to_flow_specs",
+    "to_fluid_specs",
+]

@@ -1,0 +1,146 @@
+"""BBRv1 state machine: the four states of §2.1 and the 2×BDP cap."""
+
+import pytest
+
+from repro.cc.bbr import (
+    DRAIN,
+    GAIN_CYCLE,
+    HIGH_GAIN,
+    PROBE_BW,
+    PROBE_RTT,
+    STARTUP,
+    BBRv1,
+)
+from repro.cc.signals import LossEvent
+
+
+def make_driver(driver_factory, rate=1.25e6, rtt=0.04):
+    cc = BBRv1(mss=1000)
+    return cc, driver_factory(cc, rate=rate, rtt=rtt)
+
+
+def test_starts_in_startup():
+    cc = BBRv1()
+    assert cc.state == STARTUP
+    assert cc.pacing_gain == pytest.approx(HIGH_GAIN)
+
+
+def test_high_gain_value():
+    # 2/ln(2) ≈ 2.885 — the exponential-search gain from §2.1.
+    assert HIGH_GAIN == pytest.approx(2.885, rel=1e-3)
+
+
+def test_gain_cycle_shape():
+    # §2.1: 8 phases — probe at 1.25, compensate at 0.75, then 6 × 1.0.
+    assert len(GAIN_CYCLE) == 8
+    assert GAIN_CYCLE[0] == 1.25
+    assert GAIN_CYCLE[1] == 0.75
+    assert all(g == 1.0 for g in GAIN_CYCLE[2:])
+
+
+def test_bandwidth_filter_tracks_delivery_rate(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.acks(50, delivery_rate=1.25e6)
+    assert cc.btl_bw == pytest.approx(1.25e6)
+
+
+def test_app_limited_samples_ignored_unless_larger(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.acks(30, delivery_rate=1.25e6)
+    d.acks(30, delivery_rate=0.5e6, app_limited=True)
+    assert cc.btl_bw == pytest.approx(1.25e6)
+    d.ack(delivery_rate=2e6, app_limited=True)
+    assert cc.btl_bw == pytest.approx(2e6)
+
+
+def test_rtprop_tracks_minimum(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.ack(rtt=0.050)
+    d.ack(rtt=0.042)
+    d.ack(rtt=0.061)
+    assert cc.rtprop == pytest.approx(0.042)
+
+
+def test_startup_exits_on_bandwidth_plateau(driver_factory):
+    cc, d = make_driver(driver_factory)
+    # Constant delivery rate: the filter stops growing, full_pipe after
+    # three round trips.
+    d.run_for(1.0, delivery_rate=1.25e6)
+    assert cc.full_pipe
+    assert cc.state in (DRAIN, PROBE_BW)
+
+
+def test_reaches_probe_bw_with_low_inflight(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.run_for(1.0, delivery_rate=1.25e6, in_flight=10_000)
+    assert cc.state == PROBE_BW
+    assert cc.cwnd_gain == 2.0
+
+
+def test_cwnd_capped_at_twice_bdp(driver_factory):
+    """Assumption 2 of the model: in-flight cap = 2 × estimated BDP."""
+    cc, d = make_driver(driver_factory, rate=1.25e6, rtt=0.04)
+    d.run_for(3.0, delivery_rate=1.25e6, in_flight=10_000)
+    bdp = 1.25e6 * 0.04
+    assert cc.cwnd <= 2.0 * bdp * 1.0001
+    assert cc.cwnd == pytest.approx(2.0 * bdp, rel=0.05)
+
+
+def test_loss_agnostic(driver_factory):
+    """Assumption 4: BBRv1 ignores packet loss."""
+    cc, d = make_driver(driver_factory)
+    d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    cwnd = cc.cwnd
+    pacing = cc.pacing_rate
+    for _ in range(10):
+        d.lose()
+    assert cc.cwnd == cwnd
+    assert cc.pacing_rate == pacing
+
+
+def test_probe_rtt_entered_when_rtprop_stale(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    assert cc.state == PROBE_BW
+    # Keep RTT above the recorded minimum for >10 s.
+    d.run_for(10.5, rtt=0.08, in_flight=10_000)
+    seen_probe_rtt = cc.state == PROBE_RTT
+    assert seen_probe_rtt
+    assert cc.cwnd == 4 * cc.mss
+
+
+def test_probe_rtt_exits_after_dwell_and_refreshes_stamp(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    d.run_for(10.5, rtt=0.08, in_flight=10_000)
+    assert cc.state == PROBE_RTT
+    # Drain: in-flight at/below 4 packets, then 200 ms + a round.
+    d.run_for(0.5, rtt=0.04, in_flight=3000)
+    assert cc.state == PROBE_BW
+    assert cc.rtprop == pytest.approx(0.04)
+
+
+def test_pacing_rate_follows_gain(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    assert cc.state == PROBE_BW
+    assert cc.pacing_rate == pytest.approx(
+        cc.pacing_gain * cc.btl_bw, rel=1e-6
+    )
+
+
+def test_gain_cycling_advances(driver_factory):
+    cc, d = make_driver(driver_factory)
+    d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    seen_gains = set()
+    for _ in range(30):
+        d.run_for(0.045, in_flight=10_000)  # ~1 RTprop per step.
+        seen_gains.add(cc.pacing_gain)
+    assert 1.25 in seen_gains
+    assert 0.75 in seen_gains
+    assert 1.0 in seen_gains
+
+
+def test_bdp_zero_before_estimates():
+    cc = BBRv1()
+    assert cc.bdp() == 0.0

@@ -1,0 +1,106 @@
+"""BBRv2: loss-bounded in-flight cap and gentler probing (§4.6)."""
+
+import pytest
+
+from repro.cc.bbr2 import (
+    BETA,
+    CRUISE,
+    HEADROOM,
+    LOSS_THRESH,
+    PROBE_RTT,
+    STARTUP,
+    BBRv2,
+)
+from repro.cc.signals import LossEvent
+
+
+def settle(d, seconds=2.0):
+    """Run a driver until the controller reaches steady cruising."""
+    d.run_for(seconds, delivery_rate=d.rate, in_flight=10_000)
+
+
+def test_starts_in_startup():
+    assert BBRv2().state == STARTUP
+
+
+def test_reacts_to_loss_unlike_bbrv1(driver_factory):
+    cc = BBRv2(mss=1000)
+    d = driver_factory(cc, rate=1.25e6, rtt=0.04)
+    settle(d)
+    assert cc.inflight_hi == float("inf")
+    # A lossy round: drive the per-round loss rate over LOSS_THRESH, then
+    # complete at least one packet-timed round so the check runs.
+    for _ in range(5):
+        d.lose(packets=10, in_flight=50_000)
+        d.acks(5, in_flight=50_000)
+    d.acks(120, in_flight=50_000)
+    assert cc.inflight_hi < float("inf")
+
+
+def test_inflight_hi_cut_by_beta(driver_factory):
+    cc = BBRv2(mss=1000)
+    d = driver_factory(cc, rate=1.25e6, rtt=0.04)
+    settle(d)
+    d.lose(packets=20, in_flight=60_000)
+    d.acks(120, in_flight=60_000)  # Complete the round.
+    if cc.inflight_hi < float("inf"):
+        # Bound reflects the (1 − β) cut of the in-flight reference.
+        assert cc.inflight_hi <= (60_000 + 20_000) * (1 - BETA) * 1.01
+
+
+def test_startup_loss_caps_pipe(driver_factory):
+    cc = BBRv2(mss=1000)
+    d = driver_factory(cc, rate=1.25e6, rtt=0.04)
+    d.acks(5)
+    assert cc.state == STARTUP
+    d.lose(packets=5, in_flight=30_000)
+    assert cc.full_pipe
+    assert cc.inflight_hi <= 30_000
+
+
+def test_cruise_keeps_headroom(driver_factory):
+    cc = BBRv2(mss=1000)
+    d = driver_factory(cc, rate=1.25e6, rtt=0.04)
+    settle(d)
+    cc.inflight_hi = 40_000
+    # Force cruising and check the cap.
+    d.run_for(0.5, in_flight=int(HEADROOM * 40_000))
+    if cc.state == CRUISE:
+        assert cc.cwnd <= HEADROOM * cc.inflight_hi * 1.001
+
+
+def test_loss_threshold_documented_value():
+    assert LOSS_THRESH == pytest.approx(0.02)
+
+
+def test_probe_rtt_cadence_is_five_seconds(driver_factory):
+    from repro.cc.bbr2 import PROBE_RTT_INTERVAL
+
+    assert PROBE_RTT_INTERVAL == 5.0
+
+
+def test_probe_rtt_floor_is_half_bdp(driver_factory):
+    cc = BBRv2(mss=1000)
+    d = driver_factory(cc, rate=1.25e6, rtt=0.04)
+    settle(d)
+    d.run_for(5.5, rtt=0.08, in_flight=10_000)
+    if cc.state == PROBE_RTT:
+        assert cc.cwnd >= cc.min_cwnd
+        assert cc.cwnd <= 0.5 * cc.bdp(1.0) * 1.1 + cc.min_cwnd
+
+
+def test_less_aggressive_than_bbr_in_flight(driver_factory):
+    """After equivalent loss histories BBRv2 keeps less in flight."""
+    from repro.cc.bbr import BBRv1
+
+    v1 = BBRv1(mss=1000)
+    v2 = BBRv2(mss=1000)
+    d1 = driver_factory(v1, rate=1.25e6, rtt=0.04)
+    d2 = driver_factory(v2, rate=1.25e6, rtt=0.04)
+    for d in (d1, d2):
+        d.run_for(2.0, delivery_rate=1.25e6, in_flight=10_000)
+    for d, cc in ((d1, v1), (d2, v2)):
+        for _ in range(5):
+            d.lose(packets=10, in_flight=50_000)
+            d.acks(10, in_flight=50_000)
+    assert v2.cwnd <= v1.cwnd

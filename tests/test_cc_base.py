@@ -1,0 +1,68 @@
+"""Controller registry and base-class behaviour."""
+
+import pytest
+
+from repro.cc import available_algorithms, make_controller
+from repro.cc.base import CongestionControl, register
+from repro.cc.signals import LossEvent, RateSample
+
+
+def test_all_paper_algorithms_registered():
+    algos = available_algorithms()
+    for name in ("reno", "cubic", "bbr", "bbr2", "copa", "vivace"):
+        assert name in algos
+
+
+def test_make_controller_case_insensitive():
+    assert make_controller("BBR").name == "bbr"
+    assert make_controller("Cubic").name == "cubic"
+
+
+def test_make_controller_passes_kwargs():
+    cc = make_controller("cubic", mss=576)
+    assert cc.mss == 576
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(KeyError) as exc:
+        make_controller("hybla")
+    assert "hybla" in str(exc.value)
+    assert "cubic" in str(exc.value)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+
+        @register("cubic")
+        class Fake(CongestionControl):  # pragma: no cover
+            def on_ack(self, sample):
+                pass
+
+            def on_loss(self, event):
+                pass
+
+
+def test_initial_window_is_ten_segments():
+    cc = make_controller("reno", mss=1000)
+    assert cc.cwnd == 10_000
+
+
+def test_clamp_cwnd_enforces_floor():
+    cc = make_controller("reno", mss=1000)
+    cc.cwnd = 10.0
+    cc.clamp_cwnd()
+    assert cc.cwnd == 2000
+
+
+def test_invalid_mss_rejected():
+    with pytest.raises(ValueError):
+        make_controller("reno", mss=0)
+
+
+def test_loss_based_flags_match_paper():
+    # Assumption 4: BBRv1 is loss-agnostic; BBRv2 and CUBIC are not.
+    assert make_controller("bbr").loss_based is False
+    assert make_controller("vivace").loss_based is False
+    assert make_controller("cubic").loss_based is True
+    assert make_controller("bbr2").loss_based is True
+    assert make_controller("copa").loss_based is True

@@ -1,0 +1,143 @@
+"""CLI subcommands (fast paths only; figures are covered by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+    assert "cubic" in out and "bbr" in out
+
+
+def test_predict_two_flow(capsys):
+    code = main(
+        ["predict", "--mbps", "100", "--rtt-ms", "40", "--buffer-bdp", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2-flow model" in out
+    assert "40.6%" in out  # Known value for this configuration.
+    assert "ware" in out.lower()
+
+
+def test_predict_multi_flow(capsys):
+    code = main(["predict", "--cubic", "5", "--bbr", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "multi-flow model" in out
+    assert "per-flow BBR in [" in out
+
+
+def test_nash(capsys):
+    code = main(["nash", "--flows", "50", "--buffer-bdp", "10"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "predicted NE" in out
+    assert "CUBIC" in out
+
+
+def test_simulate_fluid(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "20",
+            "--backend",
+            "fluid",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cubic" in out and "bbr" in out
+    assert "queuing delay" in out
+
+
+def test_simulate_bad_mix(capsys):
+    assert main(["simulate", "cubic-5"]) == 2
+
+
+def test_figure_unknown_id(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_figure_fig6_renders_and_exports(tmp_path, capsys):
+    code = main(["figure", "fig6", "--csv-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert (tmp_path / "fig6.csv").exists()
+
+
+def test_figure_accepts_bare_number(capsys):
+    assert main(["figure", "6"]) == 0
+
+
+def test_validate_fluid(capsys):
+    code = main(
+        [
+            "validate",
+            "--mbps",
+            "50",
+            "--buffers",
+            "2",
+            "5",
+            "--backend",
+            "fluid",
+            "--duration",
+            "60",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MAE" in out
+    assert "wins" in out
+
+
+def test_simulate_packet_backend(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "5",
+            "--rtt-ms",
+            "20",
+            "--duration",
+            "10",
+            "--backend",
+            "packet",
+        ]
+    )
+    assert code == 0
+    assert "cubic" in capsys.readouterr().out
+
+
+def test_evolve(capsys):
+    code = main(
+        [
+            "evolve",
+            "--flows",
+            "4",
+            "--buffer-bdp",
+            "3",
+            "--duration",
+            "40",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best-response path" in out
+    assert "converged mix" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

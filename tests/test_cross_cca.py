@@ -1,0 +1,86 @@
+"""Cross-CCA comparative invariants on shared scenarios.
+
+These pin the *relative* behaviours the paper's arguments lean on:
+aggression orderings between algorithms under identical conditions.
+"""
+
+import pytest
+
+from repro.fluidsim import FluidSpec, run_fluid
+from repro.sim.network import FlowSpec, run_dumbbell
+from repro.util.config import LinkConfig
+
+
+@pytest.fixture(scope="module")
+def fluid_vs_cubic():
+    """Each challenger, 1-vs-1 against CUBIC on the same fluid link."""
+    link = LinkConfig.from_mbps_ms(100, 40, 3)
+    shares = {}
+    for cc in ("bbr", "bbr2", "copa", "vivace", "reno", "vegas"):
+        result = run_fluid(
+            link,
+            [FluidSpec("cubic"), FluidSpec(cc)],
+            duration=120,
+            warmup=20,
+            seed=8,
+        )
+        shares[cc] = result.flows[1].throughput / link.capacity
+    return shares
+
+
+def test_aggression_ordering_against_cubic(fluid_vs_cubic):
+    """Fig. 7's ordering at the 1-challenger end: Vivace ≥ BBR > BBRv2,
+    and the delay-based algorithms lose badly."""
+    s = fluid_vs_cubic
+    assert s["vivace"] > s["bbr2"]
+    assert s["bbr"] > s["bbr2"]
+    assert s["bbr2"] > s["copa"]
+    assert s["copa"] < 0.25
+    assert s["vegas"] < 0.25
+
+
+def test_reno_weaker_than_cubic(fluid_vs_cubic):
+    """The §5 history: Reno loses to CUBIC (hence the last transition)."""
+    assert fluid_vs_cubic["reno"] < 0.5
+
+
+def test_bbr_disproportionate_against_cubic(fluid_vs_cubic):
+    """§4.2 condition (i) near the 1v1 point: BBR takes ≈ half the link
+    from CUBIC at 3 BDP (the model predicts exactly 0.50 there)."""
+    assert fluid_vs_cubic["bbr"] > 0.45
+
+
+def test_packet_sim_agrees_on_bbr2_vs_bbr():
+    """BBRv2 is less aggressive than BBRv1 against CUBIC on the packet
+    simulator too (§4.6's premise)."""
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    shares = {}
+    for cc in ("bbr", "bbr2"):
+        result = run_dumbbell(
+            link,
+            [FlowSpec("cubic"), FlowSpec(cc)],
+            duration=60,
+            warmup=10,
+        )
+        shares[cc] = result.flows[1].throughput
+    assert shares["bbr2"] < shares["bbr"]
+
+
+def test_homogeneous_populations_are_fair():
+    """Within a single-CCA population every flow gets ~its fair share
+    (RTTs equal) — fairness sanity for each fluid dynamic.  BBR flows
+    start simultaneously, as in the paper's experiments: staggered BBR
+    starts let the incumbent's bandwidth estimate lock in an advantage
+    (a real BBR late-comer effect the fluid model also exhibits)."""
+    link = LinkConfig.from_mbps_ms(100, 40, 4)
+    for cc, jitter in (("cubic", 1.0), ("reno", 1.0), ("bbr", 0.0)):
+        result = run_fluid(
+            link,
+            [FluidSpec(cc)] * 4,
+            duration=120,
+            warmup=30,
+            seed=3,
+            start_jitter=jitter,
+        )
+        rates = [f.throughput for f in result.flows]
+        assert max(rates) / min(rates) < 2.0, cc

@@ -1,0 +1,86 @@
+"""Public API surface: the names the README and docs promise."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in (
+        "LinkConfig",
+        "predict_two_flow",
+        "predict_multi_flow",
+        "predict_nash",
+        "ware_prediction",
+        "ThroughputTable",
+        "__version__",
+    ):
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module,names",
+    [
+        (
+            "repro.core",
+            [
+                "bisect_nash",
+                "GroupGame",
+                "nash_region",
+                "ne_existence_conditions",
+            ],
+        ),
+        (
+            "repro.cc",
+            ["make_controller", "BBRv1", "BBRv2", "Cubic", "Vegas"],
+        ),
+        (
+            "repro.sim",
+            [
+                "run_dumbbell",
+                "DumbbellNetwork",
+                "FlowSpec",
+                "RED",
+                "CoDel",
+                "CwndTracer",
+                "EventLoop",
+            ],
+        ),
+        (
+            "repro.fluidsim",
+            ["run_fluid", "FluidSpec", "FluidSimulation", "LOSS_MODES"],
+        ),
+        (
+            "repro.experiments",
+            ["FIGURES", "run_mix", "FigureResult"],
+        ),
+        (
+            "repro.analysis",
+            ["jains_index", "synchronization_index", "classify_regime"],
+        ),
+        (
+            "repro.workloads",
+            ["poisson_short_flows", "on_off_flows", "long_lived"],
+        ),
+    ],
+)
+def test_subpackage_exports(module, names):
+    mod = importlib.import_module(module)
+    for name in names:
+        assert hasattr(mod, name), f"{module}.{name}"
+        assert name in mod.__all__, f"{name} missing from {module}.__all__"
+
+
+def test_every_figure_id_is_callable():
+    from repro.experiments import FIGURES
+
+    for key, fn in FIGURES.items():
+        assert callable(fn), key
+
+
+def test_console_script_entry_point():
+    from repro.cli import main
+
+    assert callable(main)

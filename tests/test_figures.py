@@ -1,0 +1,56 @@
+"""Figure-generator plumbing (fast paths only; heavy figures run in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    figure5,
+    figure6,
+    figure9,
+)
+
+
+def test_registry_covers_every_evaluation_figure():
+    # Figure 2 is a schematic and Table 1 the notation table; everything
+    # else in the paper's evaluation must be regenerable.
+    expected = {
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+    }
+    assert set(FIGURES) == expected
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError):
+        figure6(scale="huge")
+    with pytest.raises(ValueError):
+        figure9(scale="paper")
+
+
+def test_figure6_is_pure_model_and_fast():
+    fig = figure6()
+    assert fig.figure_id == "fig6"
+    assert "fair-share" in fig.names
+    assert len(fig.get("bbr-per-flow-sync").y) == 10
+    assert "N_b" in fig.notes
+
+
+def test_figure6_custom_size():
+    fig = figure6(n_flows=6, buffer_bdp=5)
+    assert len(fig.get("bbr-per-flow-sync").y) == 6
+
+
+def test_figure5_counts_include_endpoint():
+    # 20 flows at quick scale steps by 2 but must still end at 20.
+    fig = figure5(n_flows=4, buffer_bdp=3)
+    assert fig.get("actual").x[-1] == 4

@@ -1,0 +1,103 @@
+"""Windowed min/max filters and EWMA (BBR's estimators)."""
+
+import pytest
+
+from repro.util.filters import Ewma, WindowedMax, WindowedMin
+
+
+class TestWindowedMax:
+    def test_tracks_maximum(self):
+        f = WindowedMax(10.0)
+        assert f.update(0.0, 5.0) == 5.0
+        assert f.update(1.0, 3.0) == 5.0
+        assert f.update(2.0, 7.0) == 7.0
+
+    def test_expires_old_samples(self):
+        f = WindowedMax(10.0)
+        f.update(0.0, 100.0)
+        f.update(5.0, 1.0)
+        # At t=11 the 100 sample has left the window.
+        assert f.update(11.0, 2.0) == 2.0
+
+    def test_get_without_now_does_not_expire(self):
+        f = WindowedMax(10.0)
+        f.update(0.0, 9.0)
+        assert f.get() == 9.0
+
+    def test_get_with_now_expires(self):
+        f = WindowedMax(10.0)
+        f.update(0.0, 9.0)
+        assert f.get(now=20.0) is None
+
+    def test_empty_returns_none(self):
+        assert WindowedMax(1.0).get() is None
+
+    def test_reset(self):
+        f = WindowedMax(10.0)
+        f.update(0.0, 5.0)
+        f.reset()
+        assert f.get() is None
+        assert len(f) == 0
+
+    def test_monotone_deque_stays_small(self):
+        f = WindowedMax(100.0)
+        for i in range(1000):
+            f.update(i * 0.01, 1000.0 - i)
+        # Decreasing samples: all retained (each could become the max).
+        assert len(f) == 1000
+        f.reset()
+        for i in range(1000):
+            f.update(i * 0.01, float(i))
+        # Increasing samples: only the newest survives.
+        assert len(f) == 1
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WindowedMax(0.0)
+
+
+class TestWindowedMin:
+    def test_tracks_minimum(self):
+        f = WindowedMin(10.0)
+        assert f.update(0.0, 5.0) == 5.0
+        assert f.update(1.0, 8.0) == 5.0
+        assert f.update(2.0, 2.0) == 2.0
+
+    def test_expiry_reveals_recent_min(self):
+        f = WindowedMin(10.0)
+        f.update(0.0, 0.040)
+        f.update(5.0, 0.120)
+        f.update(12.0, 0.100)
+        # The 40 ms sample expired; min of the rest is 100 ms.
+        assert f.get(now=12.0) == pytest.approx(0.100)
+
+    def test_mutable_window(self):
+        f = WindowedMin(10.0)
+        f.update(0.0, 1.0)
+        f.window = 0.5
+        assert f.get(now=1.0) is None
+
+
+class TestEwma:
+    def test_first_sample_sets_value(self):
+        e = Ewma(0.5)
+        assert e.update(10.0) == 10.0
+
+    def test_converges_toward_constant_input(self):
+        e = Ewma(0.5)
+        e.update(0.0)
+        for _ in range(20):
+            e.update(100.0)
+        assert e.value == pytest.approx(100.0, rel=1e-4)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+    def test_reset(self):
+        e = Ewma(0.2)
+        e.update(5.0)
+        e.reset()
+        assert e.value is None

@@ -1,0 +1,273 @@
+"""Fluid flow dynamics: per-CCA behaviour at tick granularity."""
+
+import pytest
+
+from repro.fluidsim.core import TickContext
+from repro.fluidsim.flows import (
+    FluidBBR,
+    FluidBBR2,
+    FluidCopa,
+    FluidCubic,
+    FluidReno,
+    FluidVivace,
+    available_fluid_algorithms,
+    make_fluid_flow,
+)
+
+
+def ctx(now, dt=0.01, throughput=1e6, rtt=0.04, qd=0.0, lost=0.0):
+    c = TickContext()
+    c.now = now
+    c.dt = dt
+    c.throughput = throughput
+    c.base_rtt = rtt
+    c.queue_delay = qd
+    c.rtt_measured = rtt + qd
+    c.lost_bytes = lost
+    return c
+
+
+def drive(flow, seconds, dt=0.01, **kwargs):
+    now = getattr(flow, "_test_now", 0.0)
+    end = now + seconds
+    while now < end:
+        now += dt
+        flow.tick(ctx(now, dt=dt, **kwargs))
+    flow._test_now = now
+    return now
+
+
+def test_registry_matches_packet_algorithms():
+    names = available_fluid_algorithms()
+    for name in ("reno", "cubic", "bbr", "bbr2", "copa", "vivace"):
+        assert name in names
+
+
+def test_make_fluid_flow_unknown():
+    with pytest.raises(KeyError):
+        make_fluid_flow("westwood", flow_id=0, rtt=0.04)
+
+
+def test_invalid_rtt():
+    with pytest.raises(ValueError):
+        FluidCubic(flow_id=0, rtt=0.0)
+
+
+class TestFluidCubic:
+    def test_slow_start_until_loss(self):
+        f = FluidCubic(0, rtt=0.04)
+        start = f.inflight
+        drive(f, 0.04)
+        assert f.inflight == pytest.approx(2 * start, rel=0.05)
+
+    def test_loss_backs_off_to_seventy_percent(self):
+        f = FluidCubic(0, rtt=0.04, fast_convergence=False)
+        drive(f, 0.2)
+        before = f.inflight
+        f.on_loss(0.2)
+        assert f.inflight == pytest.approx(0.7 * before)
+
+    def test_loss_guard_one_per_rtt(self):
+        f = FluidCubic(0, rtt=0.04, fast_convergence=False)
+        drive(f, 0.2)
+        before = f.inflight
+        f.on_loss(0.200)
+        f.on_loss(0.205)
+        assert f.inflight == pytest.approx(0.7 * before)
+
+    def test_regrows_toward_w_max(self):
+        f = FluidCubic(0, rtt=0.04, fast_convergence=False)
+        drive(f, 0.3, throughput=5e6)
+        w_max = f.inflight
+        f.on_loss(0.3)
+        drive(f, 10.0, throughput=5e6)
+        assert f.inflight >= 0.95 * w_max
+
+    def test_fast_convergence_lowers_w_max(self):
+        f = FluidCubic(0, rtt=0.04, fast_convergence=True)
+        drive(f, 0.3)
+        f.on_loss(0.3)
+        drive(f, 0.1)
+        w1 = f._w_max_pkts
+        f.on_loss(0.5)
+        assert f._w_max_pkts < w1
+
+
+class TestFluidReno:
+    def test_additive_increase_after_loss(self):
+        f = FluidReno(0, rtt=0.04)
+        f.on_loss(0.0)  # Exit slow start.
+        start = f.inflight
+        drive(f, 0.04 * 10)  # 10 RTTs → +10 MSS.
+        assert f.inflight == pytest.approx(start + 10 * 1500, rel=0.05)
+
+    def test_halves_on_loss(self):
+        f = FluidReno(0, rtt=0.04)
+        drive(f, 0.2)
+        before = f.inflight
+        f.on_loss(0.2)
+        assert f.inflight == pytest.approx(before / 2)
+
+
+class TestFluidBBR:
+    def test_loss_agnostic(self):
+        f = FluidBBR(0, rtt=0.04)
+        drive(f, 2.0, throughput=2e6)
+        before = f.inflight
+        f.on_loss(2.0)
+        assert f.inflight == before
+
+    def test_inflight_capped_at_twice_estimated_bdp(self):
+        f = FluidBBR(0, rtt=0.04)
+        drive(f, 5.0, throughput=2e6, qd=0.0)
+        cap = 2.0 * f.bw_est * f.rtt_min_est
+        assert f.inflight <= cap * 1.01
+
+    def test_probe_rtt_drains_to_four_packets(self):
+        f = FluidBBR(0, rtt=0.04)
+        drive(f, 2.0, throughput=2e6)
+        # Hold the measured RTT above the minimum for > 10 s; the flow
+        # must pass through a 200 ms ProbeRTT drain along the way.
+        now = f._test_now
+        drained = False
+        for _ in range(1100):
+            now += 0.01
+            f.tick(ctx(now, throughput=2e6, qd=0.05))
+            if f._probe_rtt_until is not None:
+                drained = True
+                assert f.inflight == 4 * 1500
+        assert drained
+
+    def test_probe_rtt_refreshes_rtt_min(self):
+        f = FluidBBR(0, rtt=0.04)
+        drive(f, 2.0, throughput=2e6)
+        drive(f, 10.5, throughput=2e6, qd=0.05)
+        # After the stale-RTT period a probe ran; subsequent smaller
+        # samples (others' queue at 30 ms) set the new minimum.
+        drive(f, 0.3, throughput=2e6, qd=0.03)
+        assert f.rtt_min_est == pytest.approx(0.07, rel=0.05)
+
+    def test_rtt_bloat_raises_inflight_cap(self):
+        """Equation (9): a bloated RTT_min raises the 2×BDP cap — the
+        mechanism behind BBR's buffer share in the model."""
+        caps = {}
+        for name, rtt_min in (("low", 0.04), ("high", 0.08)):
+            f = FluidBBR(0, rtt=0.04)
+            f._in_startup = False
+            f._bw_filter.update(0.0, 2e6)
+            f.rtt_min_est = rtt_min
+            f._rtt_min_stamp = 0.0
+            f.inflight = 1e6  # Far above any cap.
+            f.tick(ctx(0.01, throughput=2e6, qd=0.06))
+            caps[name] = f.inflight
+        assert caps["low"] == pytest.approx(2 * 2e6 * 0.04)
+        assert caps["high"] == pytest.approx(2 * 2e6 * 0.08)
+        assert caps["high"] > caps["low"]
+
+    def test_gain_cycling_changes_pacing_phase(self):
+        f = FluidBBR(0, rtt=0.04, gain_cycling=True)
+        drive(f, 2.0, throughput=2e6)
+        gains = set()
+        now = f._test_now
+        for _ in range(200):
+            now += 0.01
+            f.tick(ctx(now, throughput=2e6))
+            gains.add(f._current_gain(now))
+        assert 1.25 in gains and 0.75 in gains
+
+
+class TestFluidBBR2:
+    def test_loss_bounds_inflight(self):
+        f = FluidBBR2(0, rtt=0.04)
+        drive(f, 3.0, throughput=2e6)
+        # A round with heavy drops.
+        now = f._test_now
+        f.tick(ctx(now + 0.01, throughput=2e6, lost=20_000))
+        f._round_lost += 20_000
+        f.on_loss(now + 0.02)
+        assert f.inflight_hi < float("inf")
+
+    def test_small_loss_tolerated(self):
+        f = FluidBBR2(0, rtt=0.04)
+        drive(f, 3.0, throughput=2e6)
+        f._round_lost = 10.0        # ≪ 2% of the round's delivery.
+        f._round_delivered = 1e6
+        f.on_loss(f._test_now)
+        assert f.inflight_hi == float("inf")
+
+    def test_probe_up_regrows_bound(self):
+        f = FluidBBR2(0, rtt=0.04)
+        drive(f, 3.0, throughput=2e6)
+        f._round_lost = 1e5
+        f._round_delivered = 1e6
+        f.on_loss(f._test_now)
+        bound = f.inflight_hi
+        drive(f, 4.0, throughput=2e6)
+        assert f.inflight_hi > bound
+
+
+class TestFluidCopa:
+    def test_opens_when_no_queue(self):
+        f = FluidCopa(0, rtt=0.04)
+        start = f.inflight
+        drive(f, 1.0, qd=0.0)
+        assert f.inflight > start
+
+    def test_closes_when_queue_large(self):
+        f = FluidCopa(0, rtt=0.04)
+        drive(f, 0.5, qd=0.0)
+        f.inflight = 1e6
+        before = f.inflight
+        drive(f, 1.0, qd=0.2)
+        assert f.inflight < before
+
+    def test_halves_on_loss(self):
+        f = FluidCopa(0, rtt=0.04)
+        drive(f, 0.5)
+        before = f.inflight
+        f.on_loss(0.5)
+        assert f.inflight == pytest.approx(before / 2, rel=0.01)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            FluidCopa(0, rtt=0.04, delta=0)
+
+
+class TestFluidVivace:
+    def test_rate_grows_on_clean_path(self):
+        f = FluidVivace(0, rtt=0.04)
+        start = f.rate
+        # Self-clocked: the achieved rate tracks the current probe rate,
+        # so the (1+ε) interval scores higher utility and the rate climbs.
+        now = 0.0
+        for _ in range(300):
+            now += 0.01
+            f.tick(ctx(now, qd=0.0, throughput=f._probe_rate()))
+        assert f.rate > start
+
+    def test_latency_variant_backs_off_under_rising_queue(self):
+        f = FluidVivace(0, rtt=0.04, latency_coeff=900.0)
+        drive(f, 1.0, qd=0.0, throughput=2e6)
+        after_clean = f.rate
+        # Steadily rising queue delay punishes the latency variant; the
+        # achieved rate tracks the probe rate (self-clocked pipe).
+        now = f._test_now
+        qd = 0.0
+        for _ in range(600):
+            now += 0.01
+            qd += 0.0004
+            f.tick(ctx(now, throughput=f._probe_rate(), qd=qd))
+        assert f.rate < after_clean
+
+    def test_drop_accounting(self):
+        f = FluidVivace(0, rtt=0.04)
+        f.tick(ctx(0.01))
+        f.on_drop(0.01, 5000.0)
+        assert f._mi_lost >= 5000.0
+
+    def test_inflight_tracks_rate(self):
+        f = FluidVivace(0, rtt=0.04)
+        drive(f, 1.0, qd=0.01)
+        assert f.inflight == pytest.approx(
+            f._probe_rate() * 0.05, rel=0.2
+        )

@@ -1,0 +1,220 @@
+"""The CCA-selection game: NE enumeration, dynamics, group game."""
+
+import pytest
+
+from repro.core.game import (
+    FlowGroup,
+    GroupGame,
+    ThroughputTable,
+    bisect_nash,
+)
+
+
+def linear_table(n=10, capacity=100.0, crossing=6):
+    """A synthetic game shaped like Figure 6: BBR per-flow advantage
+    decreases in k and crosses the fair-share line at ``crossing``."""
+    fair = capacity / n
+    lambda_a, lambda_b = [], []
+    for k in range(n + 1):
+        adv = (crossing - k) * 1.0
+        b = fair + adv if k > 0 else 0.0
+        total_b = b * k
+        a = (capacity - total_b) / (n - k) if k < n else 0.0
+        lambda_a.append(a)
+        lambda_b.append(b)
+    return ThroughputTable(n_flows=n, lambda_a=lambda_a, lambda_b=lambda_b)
+
+
+class TestThroughputTable:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputTable(n_flows=3, lambda_a=[1, 2], lambda_b=[1, 2])
+
+    def test_from_function(self):
+        table = ThroughputTable.from_function(4, lambda k: (4 - k, k))
+        assert table.lambda_a == [4, 3, 2, 1, 0]
+        assert table.lambda_b == [0, 1, 2, 3, 4]
+
+    def test_is_nash_bounds_checked(self):
+        table = linear_table()
+        with pytest.raises(ValueError):
+            table.is_nash(-1)
+        with pytest.raises(ValueError):
+            table.is_nash(11)
+
+    def test_interior_ne_found(self):
+        table = linear_table(crossing=6)
+        equilibria = table.nash_equilibria()
+        assert equilibria, "an NE must exist (§4.1)"
+        assert all(4 <= k <= 8 for k in equilibria)
+
+    def test_ne_condition_definition(self):
+        """§4.4: at an NE, no BBR flow gains from switching to CUBIC and
+        no CUBIC flow gains from switching to BBR."""
+        table = linear_table()
+        for k in table.nash_equilibria():
+            if k > 0:
+                assert table.lambda_b[k] >= table.lambda_a[k - 1]
+            if k < table.n_flows:
+                assert table.lambda_a[k] >= table.lambda_b[k + 1]
+
+    def test_all_bbr_ne_when_always_advantaged(self):
+        """Case 1 of §4.1: if AB never crosses fair share, the NE is
+        all-BBR (point B)."""
+        n = 10
+        table = linear_table(n=n, crossing=15)
+        assert table.nash_equilibria() == [n]
+
+    def test_tolerance_widens_ne_set(self):
+        table = linear_table()
+        strict = set(table.nash_equilibria())
+        loose = set(table.nash_equilibria(tolerance=2.0))
+        assert strict <= loose
+
+    def test_best_response_converges_to_ne(self):
+        table = linear_table(crossing=6)
+        for start in (0, 3, 10):
+            path = table.best_response_path(start)
+            assert table.is_nash(path[-1])
+
+    def test_best_response_moves_toward_crossing(self):
+        table = linear_table(crossing=6)
+        path = table.best_response_path(0)
+        assert path == sorted(path)  # Monotone rightward from 0.
+
+    def test_best_response_step_at_ne_is_fixed_point(self):
+        table = linear_table()
+        ne = table.nash_equilibria()[0]
+        assert table.best_response_step(ne) == ne
+
+
+class TestNeExistenceConditions:
+    def test_bbr_like_game_satisfies_both(self):
+        from repro.core.game import ne_existence_conditions
+
+        table = linear_table(n=10, capacity=100.0, crossing=6)
+        # Point B: the all-B distribution splits the link fairly.
+        table.lambda_b[-1] = 10.0
+        flags = ne_existence_conditions(table, capacity=100.0)
+        assert flags["disproportionate_share"]
+        assert flags["fills_link_alone"]
+        assert flags["ne_expected"]
+        assert table.nash_equilibria()  # The conclusion actually holds.
+
+    def test_copa_like_game_fails_condition_one(self):
+        from repro.core.game import ne_existence_conditions
+
+        n, capacity = 10, 100.0
+        fair = capacity / n
+        # Always below fair share when mixed; fair share when alone.
+        lambda_b = [0.0] + [fair * 0.3] * (n - 1) + [fair]
+        lambda_a = [
+            (capacity - b * k) / (n - k) if k < n else 0.0
+            for k, b in enumerate(lambda_b)
+        ]
+        table = ThroughputTable(
+            n_flows=n, lambda_a=lambda_a, lambda_b=lambda_b
+        )
+        flags = ne_existence_conditions(table, capacity)
+        assert not flags["disproportionate_share"]
+        assert flags["fills_link_alone"]
+        assert not flags["ne_expected"]
+
+    def test_validation(self):
+        from repro.core.game import ne_existence_conditions
+
+        with pytest.raises(ValueError):
+            ne_existence_conditions(linear_table(), capacity=0.0)
+
+
+class TestBisectNash:
+    def test_matches_exhaustive_enumeration(self):
+        for crossing in (2, 5, 8):
+            table = linear_table(crossing=crossing)
+            fn = lambda k: (table.lambda_a[k], table.lambda_b[k])
+            fast, _cache = bisect_nash(table.n_flows, fn)
+            slow = table.nash_equilibria()
+            assert set(fast) == set(slow)
+
+    def test_uses_logarithmic_evaluations(self):
+        calls = []
+        table = linear_table(n=64, crossing=40)
+
+        def fn(k):
+            calls.append(k)
+            return (table.lambda_a[k], table.lambda_b[k])
+
+        bisect_nash(64, fn)
+        assert len(set(calls)) <= 16  # ≪ 65 exhaustive evaluations.
+
+    def test_extreme_all_bbr(self):
+        table = linear_table(n=10, crossing=100)
+        fn = lambda k: (table.lambda_a[k], table.lambda_b[k])
+        equilibria, _ = bisect_nash(10, fn)
+        assert equilibria == [10]
+
+
+class TestGroupGame:
+    def make_game(self, sizes=(2, 2), favour_group=0):
+        """Strategy B is better in ``favour_group`` until half the group
+        switched; elsewhere strategy A dominates."""
+        groups = [
+            FlowGroup(rtt=0.01 * (g + 1), size=s)
+            for g, s in enumerate(sizes)
+        ]
+
+        def payoff(state):
+            out = []
+            for g, size in enumerate(sizes):
+                k = state[g]
+                if g == favour_group:
+                    b = 10.0 - 4.0 * k
+                    a = 5.0
+                else:
+                    b = 1.0
+                    a = 5.0
+                out.append((a, b))
+            return out
+
+        return GroupGame(groups=groups, payoff=payoff)
+
+    def test_states_enumeration(self):
+        game = self.make_game(sizes=(2, 3))
+        states = list(game.states())
+        assert len(states) == 3 * 4
+        assert (0, 0) in states and (2, 3) in states
+
+    def test_ne_in_favoured_group_only(self):
+        game = self.make_game(sizes=(2, 2), favour_group=0)
+        equilibria = game.nash_equilibria()
+        assert equilibria
+        for state in equilibria:
+            assert state[1] == 0  # Group 1 never switches.
+            # Group 0 stops where switching stops paying: b(k+1) ≤ a.
+            assert state[0] in (1, 2)
+
+    def test_best_response_reaches_ne(self):
+        game = self.make_game()
+        path = game.best_response_path((0, 0))
+        assert game.is_nash(path[-1])
+
+    def test_payoffs_cached(self):
+        calls = []
+
+        def payoff(state):
+            calls.append(state)
+            return [(1.0, 1.0), (1.0, 1.0)]
+
+        game = GroupGame(
+            groups=[FlowGroup(0.01, 2), FlowGroup(0.02, 2)],
+            payoff=payoff,
+        )
+        game.is_nash((1, 1))
+        game.is_nash((1, 1))
+        assert len(calls) == len(set(calls))
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            FlowGroup(rtt=0.0, size=2)
+        with pytest.raises(ValueError):
+            FlowGroup(rtt=0.01, size=0)

@@ -1,0 +1,103 @@
+"""Fairness and accuracy metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    fair_share_deviation,
+    fraction_within,
+    jains_index,
+    mean_absolute_error,
+    mean_confidence_interval,
+    mean_relative_error,
+)
+
+
+class TestJainsIndex:
+    def test_perfect_fairness(self):
+        assert jains_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert jains_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        index = jains_index([2.0, 1.0])
+        assert 0.5 < index < 1.0
+
+    def test_empty_and_zero(self):
+        assert jains_index([]) == 1.0
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_negative_clamped(self):
+        assert jains_index([-1.0, 5.0]) == pytest.approx(
+            jains_index([0.0, 5.0])
+        )
+
+
+class TestFairShareDeviation:
+    def test_at_fair_share(self):
+        assert fair_share_deviation(10.0, 100.0, 10) == pytest.approx(0.0)
+
+    def test_above(self):
+        assert fair_share_deviation(15.0, 100.0, 10) == pytest.approx(0.5)
+
+    def test_below(self):
+        assert fair_share_deviation(5.0, 100.0, 10) == pytest.approx(-0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fair_share_deviation(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            fair_share_deviation(1.0, 10.0, 0)
+
+
+class TestErrorMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 2]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_mre(self):
+        assert mean_relative_error([11, 22], [10, 20]) == pytest.approx(
+            0.1
+        )
+
+    def test_mre_skips_zero_actual(self):
+        assert mean_relative_error([1, 11], [0, 10]) == pytest.approx(
+            0.05
+        )
+
+    def test_fraction_within(self):
+        predicted = [10.4, 10.6, 20.0]
+        actual = [10.0, 10.0, 10.0]
+        assert fraction_within(predicted, actual, 0.05) == pytest.approx(
+            1 / 3
+        )
+        assert fraction_within(predicted, actual, 0.06) == pytest.approx(
+            2 / 3
+        )
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1], [1, 2])
+        with pytest.raises(ValueError):
+            mean_relative_error([], [])
+
+
+class TestConfidenceInterval:
+    def test_single_sample_collapses(self):
+        mean, lo, hi = mean_confidence_interval([4.0])
+        assert mean == lo == hi == 4.0
+
+    def test_interval_brackets_mean(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert lo < mean < hi
+        assert mean == pytest.approx(2.0)
+
+    def test_tighter_with_more_samples(self):
+        _, lo1, hi1 = mean_confidence_interval([1.0, 3.0])
+        _, lo2, hi2 = mean_confidence_interval([1.0, 3.0] * 20)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])

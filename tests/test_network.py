@@ -1,0 +1,134 @@
+"""Dumbbell network integration: utilization, fairness, queue behaviour.
+
+These run the full packet-level stack on small links so they stay fast.
+"""
+
+import pytest
+
+from repro.sim.network import DumbbellNetwork, FlowSpec, run_dumbbell
+from repro.util.config import LinkConfig
+
+
+@pytest.fixture(scope="module")
+def reno_pair_result():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    return run_dumbbell(
+        link,
+        [FlowSpec("reno"), FlowSpec("reno")],
+        duration=30,
+        warmup=5,
+    )
+
+
+def test_link_fully_utilized(reno_pair_result):
+    total = reno_pair_result.aggregate_throughput() * 8 / 1e6
+    assert total == pytest.approx(10.0, rel=0.1)
+
+
+def test_symmetric_flows_share_fairly(reno_pair_result):
+    a, b = (f.throughput for f in reno_pair_result.flows)
+    assert a / b == pytest.approx(1.0, abs=0.35)
+
+
+def test_no_flow_exceeds_capacity(reno_pair_result):
+    for flow in reno_pair_result.flows:
+        assert flow.throughput <= 10e6 / 8 * 1.01
+
+
+def test_single_cubic_fills_link():
+    link = LinkConfig.from_mbps_ms(10, 20, 2)
+    result = run_dumbbell(link, [FlowSpec("cubic")], duration=20, warmup=5)
+    assert result.flows[0].throughput_mbps == pytest.approx(10.0, rel=0.08)
+
+
+def test_single_bbr_fills_link_with_low_delay():
+    link = LinkConfig.from_mbps_ms(10, 20, 10)
+    result = run_dumbbell(link, [FlowSpec("bbr")], duration=20, warmup=5)
+    assert result.flows[0].throughput_mbps == pytest.approx(10.0, rel=0.1)
+    # Alone, BBR keeps the queue near-empty (≤ ~1 BDP on average),
+    # unlike CUBIC which fills the buffer.
+    assert result.mean_queuing_delay < 0.040
+
+
+def test_cubic_fills_buffer_alone():
+    link = LinkConfig.from_mbps_ms(10, 20, 5)
+    result = run_dumbbell(link, [FlowSpec("cubic")], duration=30, warmup=5)
+    # CUBIC's sawtooth keeps the buffer mostly occupied.
+    assert result.mean_queuing_delay > 0.3 * link.max_queuing_delay
+
+
+def test_min_rtt_close_to_base_rtt():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    result = run_dumbbell(link, [FlowSpec("cubic")], duration=10)
+    # Serialization adds a little; propagation dominates.
+    assert result.flows[0].min_rtt == pytest.approx(0.020, rel=0.15)
+
+
+def test_per_flow_rtt_override():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    net = DumbbellNetwork(
+        link,
+        [FlowSpec("cubic", rtt=0.080), FlowSpec("cubic")],
+    )
+    result = net.run(10)
+    assert result.flows[0].min_rtt == pytest.approx(0.080, rel=0.1)
+    assert result.flows[1].min_rtt == pytest.approx(0.020, rel=0.2)
+
+
+def test_short_rtt_cubic_beats_long_rtt_cubic():
+    """Known CUBIC RTT-unfairness (§4.5): shorter RTT wins."""
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    result = run_dumbbell(
+        link,
+        [FlowSpec("cubic", rtt=0.010), FlowSpec("cubic", rtt=0.080)],
+        duration=30,
+        warmup=5,
+    )
+    short, long_ = result.flows
+    assert short.throughput > long_.throughput
+
+
+def test_staggered_start():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    result = run_dumbbell(
+        link,
+        [FlowSpec("cubic"), FlowSpec("cubic", start_time=5.0)],
+        duration=20,
+    )
+    first, second = result.flows
+    assert first.delivered_bytes > second.delivered_bytes
+
+
+def test_by_cc_and_means():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    result = run_dumbbell(
+        link,
+        [FlowSpec("cubic"), FlowSpec("cubic"), FlowSpec("bbr")],
+        duration=15,
+    )
+    assert len(result.by_cc("cubic")) == 2
+    assert len(result.by_cc("bbr")) == 1
+    assert result.mean_throughput("cubic") == pytest.approx(
+        result.aggregate_throughput("cubic") / 2
+    )
+
+
+def test_losses_occur_at_droptail_bottleneck():
+    link = LinkConfig.from_mbps_ms(10, 20, 2)
+    result = run_dumbbell(link, [FlowSpec("cubic")], duration=20)
+    assert result.drop_rate > 0
+    assert result.flows[0].loss_rate > 0
+
+
+def test_validation_errors():
+    link = LinkConfig.from_mbps_ms(10, 20, 3)
+    with pytest.raises(ValueError):
+        DumbbellNetwork(link, [])
+    net = DumbbellNetwork(link, [FlowSpec("cubic")])
+    with pytest.raises(ValueError):
+        net.run(duration=0)
+    net = DumbbellNetwork(link, [FlowSpec("cubic")])
+    with pytest.raises(ValueError):
+        net.run(duration=10, warmup=10)
+    with pytest.raises(ValueError):
+        DumbbellNetwork(link, [FlowSpec("cubic", rtt=-1.0)])

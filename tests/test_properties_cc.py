@@ -1,0 +1,90 @@
+"""Property-based tests for congestion controllers (hypothesis).
+
+Whatever (well-formed) sequence of ACKs and losses arrives, every
+controller must keep its outputs sane: cwnd finite and at/above the
+floor, pacing rate non-negative.  This is the robustness contract the
+simulators rely on.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import available_algorithms, make_controller
+from repro.cc.signals import LossEvent, RateSample
+
+ALGORITHMS = available_algorithms()
+
+
+@st.composite
+def signal_sequences(draw):
+    """A random but well-formed interleaving of ACK and loss signals."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    events = []
+    now = 0.0
+    delivered = 0
+    for _ in range(n):
+        now += draw(
+            st.floats(min_value=1e-4, max_value=0.5, allow_nan=False)
+        )
+        if draw(st.booleans()):
+            rtt = draw(st.floats(min_value=1e-3, max_value=2.0))
+            rate = draw(st.floats(min_value=1e3, max_value=1e9))
+            acked = draw(st.integers(min_value=100, max_value=3000))
+            prior = delivered
+            delivered += acked
+            events.append(
+                RateSample(
+                    rtt=rtt,
+                    delivery_rate=rate,
+                    delivered=delivered,
+                    delivered_at_send=max(prior - 50_000, 0),
+                    acked_bytes=acked,
+                    in_flight=draw(
+                        st.integers(min_value=0, max_value=1_000_000)
+                    ),
+                    is_app_limited=draw(st.booleans()),
+                    now=now,
+                )
+            )
+        else:
+            events.append(
+                LossEvent(
+                    lost_bytes=draw(
+                        st.integers(min_value=100, max_value=100_000)
+                    ),
+                    in_flight=draw(
+                        st.integers(min_value=0, max_value=1_000_000)
+                    ),
+                    now=now,
+                    lost_packets=draw(
+                        st.integers(min_value=1, max_value=50)
+                    ),
+                )
+            )
+    return events
+
+
+@given(st.sampled_from(ALGORITHMS), signal_sequences())
+@settings(max_examples=120, deadline=None)
+def test_controller_outputs_stay_sane(name, events):
+    cc = make_controller(name)
+    for event in events:
+        if isinstance(event, RateSample):
+            cc.on_ack(event)
+        else:
+            cc.on_loss(event)
+        cc.clamp_cwnd()
+        assert math.isfinite(cc.cwnd)
+        assert cc.cwnd >= cc.min_cwnd
+        if cc.pacing_rate is not None:
+            assert math.isfinite(cc.pacing_rate)
+            assert cc.pacing_rate >= 0
+
+
+@given(st.sampled_from(ALGORITHMS))
+def test_fresh_controller_state(name):
+    cc = make_controller(name)
+    assert cc.cwnd == 10 * cc.mss
+    assert cc.name == name

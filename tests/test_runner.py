@@ -1,0 +1,114 @@
+"""Scenario runner: backend dispatch, trials, throughput functions."""
+
+import pytest
+
+from repro.experiments.runner import (
+    distribution_throughput_fn,
+    group_payoff_fn,
+    run_mix,
+)
+from repro.util.config import LinkConfig
+
+
+def link(bdp=3, mbps=20, rtt=20):
+    return LinkConfig.from_mbps_ms(mbps, rtt, bdp)
+
+
+def test_fluid_backend_mix():
+    result = run_mix(
+        link(), [("cubic", 2), ("bbr", 2)], duration=30, backend="fluid"
+    )
+    assert set(result.per_flow) == {"cubic", "bbr"}
+    total = sum(result.aggregate.values())
+    assert total <= link().capacity * 1.001
+
+
+def test_packet_backend_mix():
+    result = run_mix(
+        link(bdp=3, mbps=10),
+        [("cubic", 1), ("bbr", 1)],
+        duration=15,
+        backend="packet",
+    )
+    assert result.per_flow["cubic"] > 0
+    assert result.per_flow["bbr"] > 0
+
+
+def test_zero_count_classes_skipped():
+    result = run_mix(
+        link(), [("cubic", 0), ("bbr", 2)], duration=20, backend="fluid"
+    )
+    assert "cubic" not in result.per_flow
+    assert "bbr" in result.per_flow
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        run_mix(link(), [("cubic", 1)], backend="ns3")
+
+
+def test_trials_must_be_positive():
+    with pytest.raises(ValueError):
+        run_mix(link(), [("cubic", 1)], trials=0)
+
+
+def test_multi_trial_averaging_differs_from_single():
+    kwargs = dict(duration=30, backend="fluid", seed=3)
+    one = run_mix(link(), [("cubic", 2), ("bbr", 2)], trials=1, **kwargs)
+    three = run_mix(link(), [("cubic", 2), ("bbr", 2)], trials=3, **kwargs)
+    assert one.per_flow["bbr"] != three.per_flow["bbr"]
+
+
+def test_per_flow_mbps_helper():
+    result = run_mix(link(), [("cubic", 1)], duration=20, backend="fluid")
+    assert result.per_flow_mbps("cubic") == pytest.approx(
+        result.per_flow["cubic"] * 8 / 1e6
+    )
+    assert result.per_flow_mbps("bbr") == 0.0
+
+
+def test_rtt_override():
+    result = run_mix(
+        link(),
+        [("cubic", 1), ("bbr", 1)],
+        duration=30,
+        backend="fluid",
+        rtts={"cubic": 0.010, "bbr": 0.060},
+    )
+    assert result.per_flow["cubic"] > 0
+
+
+def test_distribution_throughput_fn_shape():
+    fn = distribution_throughput_fn(
+        link(), n_flows=4, duration=20, backend="fluid"
+    )
+    cubic, bbr = fn(2)
+    assert cubic > 0 and bbr > 0
+    cubic0, bbr0 = fn(0)
+    assert bbr0 == 0.0
+    cubic4, bbr4 = fn(4)
+    assert cubic4 == 0.0
+    with pytest.raises(ValueError):
+        fn(5)
+
+
+def test_group_payoff_fn_shape():
+    payoff = group_payoff_fn(
+        link(),
+        group_rtts=[0.010, 0.030],
+        group_sizes=[2, 2],
+        duration=20,
+    )
+    result = payoff((1, 2))
+    assert len(result) == 2
+    inc0, cha0 = result[0]
+    assert inc0 > 0 and cha0 > 0
+    inc1, cha1 = result[1]
+    assert inc1 == 0.0  # Group 1 is all-challenger.
+    with pytest.raises(ValueError):
+        payoff((3, 0))
+
+
+def test_group_payoff_fn_validates_lengths():
+    with pytest.raises(ValueError):
+        group_payoff_fn(link(), [0.01], [2, 2])

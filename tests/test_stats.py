@@ -1,0 +1,65 @@
+"""FlowStats: binned throughput accounting and RTT tracking."""
+
+import pytest
+
+from repro.sim.stats import FlowStats
+
+
+def test_throughput_over_interval():
+    s = FlowStats(0, bin_width=0.1)
+    s.record_delivery(0.05, 1000)
+    s.record_delivery(0.15, 1000)
+    s.record_delivery(0.95, 2000)
+    assert s.throughput(0.0, 1.0) == pytest.approx(4000.0)
+
+
+def test_throughput_respects_window():
+    s = FlowStats(0, bin_width=0.1)
+    s.record_delivery(0.05, 5000)   # Inside warmup.
+    s.record_delivery(1.05, 1000)
+    assert s.throughput(1.0, 2.0) == pytest.approx(1000.0)
+
+
+def test_throughput_empty_interval_raises():
+    s = FlowStats(0)
+    with pytest.raises(ValueError):
+        s.throughput(1.0, 1.0)
+
+
+def test_throughput_series_length_and_values():
+    s = FlowStats(0, bin_width=0.5)
+    s.record_delivery(0.1, 500)
+    s.record_delivery(1.6, 1500)
+    series = s.throughput_series(2.0)
+    assert len(series) == 4
+    assert series[0] == pytest.approx(1000.0)  # 500 B / 0.5 s.
+    assert series[3] == pytest.approx(3000.0)
+
+
+def test_rtt_statistics():
+    s = FlowStats(0)
+    for rtt in (0.05, 0.04, 0.06):
+        s.record_rtt(rtt)
+    assert s.min_rtt == 0.04
+    assert s.max_rtt == 0.06
+    assert s.mean_rtt == pytest.approx(0.05)
+
+
+def test_mean_rtt_none_without_samples():
+    assert FlowStats(0).mean_rtt is None
+
+
+def test_loss_rate():
+    s = FlowStats(0)
+    s.sent_packets = 100
+    s.record_loss(5)
+    assert s.loss_rate == pytest.approx(0.05)
+
+
+def test_loss_rate_zero_without_sends():
+    assert FlowStats(0).loss_rate == 0.0
+
+
+def test_invalid_bin_width():
+    with pytest.raises(ValueError):
+        FlowStats(0, bin_width=0.0)

@@ -1,0 +1,86 @@
+"""Packet-simulator controller tracing."""
+
+import pytest
+
+from repro.sim.network import DumbbellNetwork, FlowSpec
+from repro.sim.trace import CwndTracer
+from repro.util.config import LinkConfig
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    net = DumbbellNetwork(link, [FlowSpec("cubic"), FlowSpec("bbr")])
+    tracer = CwndTracer(net, interval=0.1)
+    result = net.run(30)
+    return net, tracer, result
+
+
+def test_samples_cover_both_flows(traced_run):
+    _net, tracer, _result = traced_run
+    assert tracer.for_flow(0)
+    assert tracer.for_flow(1)
+    # ~300 samples per flow at 0.1 s over 30 s.
+    assert len(tracer.for_flow(0)) == pytest.approx(300, abs=3)
+
+
+def test_series_extraction(traced_run):
+    _net, tracer, _result = traced_run
+    times, cwnds = tracer.series(0, "cwnd")
+    assert len(times) == len(cwnds)
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    assert all(c > 0 for c in cwnds)
+
+
+def test_bbr_state_recorded_and_cubic_not(traced_run):
+    _net, tracer, _result = traced_run
+    bbr_states = {s.state for s in tracer.for_flow(1)}
+    assert "PROBE_BW" in bbr_states  # Steady state reached.
+    cubic_states = {s.state for s in tracer.for_flow(0)}
+    assert cubic_states == {None}
+
+
+def test_bbr_spends_most_time_in_probe_bw(traced_run):
+    """§2.1: "BBR spends a majority of time in the ProbeBW state"."""
+    _net, tracer, _result = traced_run
+    durations = tracer.state_durations(1)
+    total = sum(durations.values())
+    assert durations.get("PROBE_BW", 0.0) > 0.6 * total
+
+
+def test_bbr_visits_probe_rtt(traced_run):
+    """Over 30 s (3 ProbeRTT cycles) the 10 s cadence must show up."""
+    _net, tracer, _result = traced_run
+    durations = tracer.state_durations(1)
+    assert "PROBE_RTT" in durations
+
+
+def test_in_flight_bounded_by_recent_cwnd(traced_run):
+    """The sender never transmits beyond cwnd.  In-flight can exceed the
+    *current* cwnd transiently when the controller shrinks its target
+    (BBR's estimate decaying), so the bound uses the previous sample's
+    cwnd as well."""
+    _net, tracer, _result = traced_run
+    for flow_id in (0, 1):
+        samples = tracer.for_flow(flow_id)
+        previous_cwnd = float("inf")
+        for sample in samples:
+            bound = max(sample.cwnd, previous_cwnd) + 1500
+            assert sample.in_flight <= bound
+            previous_cwnd = sample.cwnd
+
+
+def test_cubic_sawtooth_visible_in_cwnd_trace(traced_run):
+    from repro.analysis.timeseries import detect_sawtooth_peaks
+
+    _net, tracer, _result = traced_run
+    times, cwnds = tracer.series(0, "cwnd")
+    peaks = detect_sawtooth_peaks(times, cwnds, min_drop=0.25)
+    assert peaks, "CUBIC should show multiplicative-decrease peaks"
+
+
+def test_interval_validation():
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    net = DumbbellNetwork(link, [FlowSpec("cubic")])
+    with pytest.raises(ValueError):
+        CwndTracer(net, interval=0.0)

@@ -1,0 +1,48 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_mbps_to_bps():
+    assert units.mbps_to_bps(1) == 1e6
+    assert units.mbps_to_bps(100) == 1e8
+
+
+def test_mbps_to_bytes_per_sec():
+    assert units.mbps_to_bytes_per_sec(8) == 1e6
+    assert units.mbps_to_bytes_per_sec(100) == pytest.approx(12.5e6)
+
+
+def test_bytes_per_sec_to_mbps_roundtrip():
+    rate = units.mbps_to_bytes_per_sec(37.5)
+    assert units.bytes_per_sec_to_mbps(rate) == pytest.approx(37.5)
+
+
+def test_bits_bytes_roundtrip():
+    assert units.bits_to_bytes(units.bytes_to_bits(123.0)) == 123.0
+
+
+def test_bytes_to_mbit():
+    assert units.bytes_to_mbit(125_000) == pytest.approx(1.0)
+
+
+def test_packet_conversions_default_mss():
+    assert units.packets_to_bytes(10) == 15_000
+    assert units.bytes_to_packets(15_000) == 10
+
+
+def test_packet_conversions_custom_mss():
+    assert units.packets_to_bytes(4, mss=100) == 400
+    assert units.bytes_to_packets(450, mss=100) == 4.5
+
+
+def test_time_conversions():
+    assert units.ms_to_s(40) == 0.04
+    assert units.s_to_ms(0.04) == pytest.approx(40)
+    assert units.s_to_ms(units.ms_to_s(123.4)) == pytest.approx(123.4)
+
+
+def test_mss_constant_is_ethernet_sized():
+    assert units.MSS_BYTES == 1500

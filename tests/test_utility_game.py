@@ -1,0 +1,63 @@
+"""The §4.3 utility game plumbing (distribution_utility_fn)."""
+
+import pytest
+
+from repro.core.game import ThroughputTable
+from repro.experiments.runner import (
+    distribution_throughput_fn,
+    distribution_utility_fn,
+)
+from repro.util.config import LinkConfig
+
+
+def link():
+    return LinkConfig.from_mbps_ms(100, 40, 3)
+
+
+def test_zero_weight_equals_throughput_game():
+    n = 4
+    kwargs = dict(duration=40, backend="fluid", seed=6)
+    fn_t = distribution_throughput_fn(link(), n, **kwargs)
+    fn_u = distribution_utility_fn(link(), n, delay_weight=0.0, **kwargs)
+    for k in (0, 2, 4):
+        assert fn_t(k) == fn_u(k)
+
+
+def test_delay_penalty_shared_between_classes():
+    """The penalty subtracts equally from both CCAs, so the *difference*
+    of utilities at any distribution equals the throughput difference."""
+    n = 4
+    kwargs = dict(duration=40, backend="fluid", seed=6)
+    fn_t = distribution_throughput_fn(link(), n, **kwargs)
+    fn_u = distribution_utility_fn(
+        link(), n, delay_weight=5.0, **kwargs
+    )
+    for k in (1, 2, 3):
+        ta, tb = fn_t(k)
+        ua, ub = fn_u(k)
+        assert (ub - ua) == pytest.approx(tb - ta, rel=1e-9)
+        assert ua < ta and ub < tb  # Penalty actually applied.
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        distribution_utility_fn(link(), 4, delay_weight=-1.0)
+
+
+def test_bounds_checked():
+    fn = distribution_utility_fn(
+        link(), 4, delay_weight=1.0, duration=20, backend="fluid"
+    )
+    with pytest.raises(ValueError):
+        fn(5)
+
+
+def test_utility_game_feeds_throughput_table():
+    n = 4
+    fn = distribution_utility_fn(
+        link(), n, delay_weight=2.0, duration=60, backend="fluid", seed=1
+    )
+    table = ThroughputTable.from_function(n, fn)
+    # The machinery is payoff-agnostic: NE enumeration just works.
+    equilibria = table.nash_equilibria(tolerance=0.05 * link().capacity / n)
+    assert equilibria

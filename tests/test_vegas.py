@@ -1,0 +1,119 @@
+"""TCP Vegas (delay-based baseline for the game-theory lineage)."""
+
+import pytest
+
+from repro.cc.vegas import ALPHA_PACKETS, BETA_PACKETS, Vegas
+
+
+def test_registered():
+    from repro.cc import available_algorithms
+
+    assert "vegas" in available_algorithms()
+
+
+def test_queued_packets_estimate():
+    cc = Vegas(mss=1000)
+    cc.base_rtt = 0.040
+    cc.cwnd = 20_000  # 20 packets.
+    # RTT 50 ms → expected 500 pkt/s, actual 400 pkt/s → 4 pkts queued.
+    assert cc.queued_packets(0.050) == pytest.approx(4.0)
+
+
+def test_queued_packets_zero_without_base():
+    assert Vegas().queued_packets(0.05) == 0.0
+
+
+def test_alpha_beta_defaults():
+    assert ALPHA_PACKETS == 2.0
+    assert BETA_PACKETS == 4.0
+
+
+def test_holds_within_target_band(driver_factory):
+    cc = Vegas(mss=1000)
+    cc._in_slow_start = False
+    cc.base_rtt = 0.040
+    cc.cwnd = 30_000
+    d = driver_factory(cc, rate=1e6, rtt=0.044)  # diff = 3 ∈ (α, β).
+    before = cc.cwnd
+    d.acks(200, rtt=0.044)
+    assert cc.cwnd == pytest.approx(before, rel=0.1)
+
+
+def test_grows_when_queue_below_alpha(driver_factory):
+    cc = Vegas(mss=1000)
+    cc._in_slow_start = False
+    cc.base_rtt = 0.040
+    cc.cwnd = 30_000
+    d = driver_factory(cc, rate=1e6, rtt=0.040)  # diff = 0 < α.
+    d.acks(300, rtt=0.040)
+    assert cc.cwnd > 30_000
+
+
+def test_shrinks_when_queue_above_beta(driver_factory):
+    cc = Vegas(mss=1000)
+    cc._in_slow_start = False
+    cc.base_rtt = 0.040
+    cc.cwnd = 40_000
+    d = driver_factory(cc, rate=1e6, rtt=0.080)  # diff = 20 > β.
+    d.acks(300, rtt=0.080)
+    assert cc.cwnd < 40_000
+
+
+def test_loss_halves(driver_factory):
+    cc = Vegas(mss=1000)
+    d = driver_factory(cc)
+    d.acks(10)
+    before = cc.cwnd
+    d.lose()
+    assert cc.cwnd == pytest.approx(before / 2)
+
+
+def test_slow_start_exits_on_queue_buildup(driver_factory):
+    cc = Vegas(mss=1000)
+    d = driver_factory(cc, rate=1e6, rtt=0.040)
+    d.acks(5, rtt=0.040)
+    # Sudden queueing: diff blows past γ at the next round boundary.
+    d.acks(200, rtt=0.120)
+    assert not cc._in_slow_start
+
+
+def test_vegas_loses_to_cubic_end_to_end():
+    """The historical outcome the paper's §5 narrative builds on."""
+    from repro.sim.network import FlowSpec, run_dumbbell
+    from repro.util.config import LinkConfig
+
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    result = run_dumbbell(
+        link,
+        [FlowSpec("vegas"), FlowSpec("cubic")],
+        duration=30,
+        warmup=5,
+    )
+    vegas, cubic = result.flows
+    assert cubic.throughput > 4 * vegas.throughput
+
+
+def test_vegas_alone_keeps_queue_tiny():
+    from repro.sim.network import FlowSpec, run_dumbbell
+    from repro.util.config import LinkConfig
+
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    result = run_dumbbell(link, [FlowSpec("vegas")], duration=20, warmup=5)
+    assert result.flows[0].throughput_mbps > 9.0
+    # α–β packets of queue ≈ 2-4 × 1.2 ms at 10 Mbps.
+    assert result.mean_queuing_delay < 0.010
+
+
+def test_fluid_vegas_matches_packet_outcome():
+    from repro.fluidsim import FluidSpec, run_fluid
+    from repro.util.config import LinkConfig
+
+    link = LinkConfig.from_mbps_ms(10, 20, 4)
+    result = run_fluid(
+        link,
+        [FluidSpec("vegas"), FluidSpec("cubic")],
+        duration=60,
+        warmup=10,
+    )
+    vegas, cubic = result.flows
+    assert cubic.throughput > 4 * vegas.throughput

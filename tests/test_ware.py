@@ -1,0 +1,70 @@
+"""Ware et al. baseline model (Equations 2–4)."""
+
+import pytest
+
+from repro.core.ware import ware_prediction
+from repro.util.config import LinkConfig
+
+
+def link(bdp, mbps=50, rtt=40):
+    return LinkConfig.from_mbps_ms(mbps, rtt, bdp)
+
+
+def test_equation3_p_value():
+    """p = 1/2 − 1/(2X) − 4N/q for a hand-checked configuration."""
+    cfg = link(10)
+    pred = ware_prediction(cfg, n_bbr=1)
+    q = cfg.buffer_packets
+    expected_p = 0.5 - 1 / 20 - 4 / q
+    assert pred.cubic_fraction == pytest.approx(expected_p)
+
+
+def test_probe_time_fraction():
+    """Equation (4): (q/c + 0.2 + l)·(d/10) out of d."""
+    cfg = link(5)
+    pred = ware_prediction(cfg, duration=120)
+    drain = cfg.buffer_bytes / cfg.capacity
+    expected = (drain + 0.2 + cfg.rtt) / 10.0
+    assert pred.probe_time_fraction == pytest.approx(expected)
+
+
+def test_fraction_clamped_to_unit_interval():
+    # Tiny buffer: the 4N/q term dominates and raw p is negative.
+    pred = ware_prediction(link(1, mbps=1, rtt=10), n_bbr=100)
+    assert 0.0 <= pred.cubic_fraction <= 1.0
+    assert 0.0 <= pred.bbr_fraction <= 1.0
+
+
+def test_bbr_share_roughly_half_in_deep_buffers():
+    """Ware's signature claim: BBR takes ~(1−p) ≈ 50% regardless of
+    competing CUBIC flows in deep buffers (modulo ProbeRTT loss)."""
+    pred = ware_prediction(link(40), n_bbr=1, duration=120)
+    assert pred.cubic_fraction == pytest.approx(0.5, abs=0.05)
+
+
+def test_independent_of_cubic_count():
+    """The model has no N_cubic input at all — a key §2.2 criticism."""
+    a = ware_prediction(link(10), n_bbr=2)
+    b = ware_prediction(link(10), n_bbr=2)
+    assert a == b
+
+
+def test_more_bbr_flows_reduce_cubic_share():
+    a = ware_prediction(link(3), n_bbr=1)
+    b = ware_prediction(link(3), n_bbr=8)
+    assert b.cubic_fraction < a.cubic_fraction
+
+
+def test_bandwidth_consistent_with_fraction():
+    cfg = link(10)
+    pred = ware_prediction(cfg)
+    assert pred.bbr_bandwidth == pytest.approx(
+        pred.bbr_fraction * cfg.capacity
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ware_prediction(link(5), n_bbr=0)
+    with pytest.raises(ValueError):
+        ware_prediction(link(5), duration=0)

@@ -1,0 +1,178 @@
+"""Workload generators and finite-flow support in both simulators."""
+
+import random
+
+import pytest
+
+from repro.fluidsim import FluidSimulation, FluidSpec, run_fluid
+from repro.sim.network import FlowSpec, run_dumbbell
+from repro.util.config import LinkConfig
+from repro.workloads import (
+    WorkloadFlow,
+    expected_offered_load,
+    long_lived,
+    on_off_flows,
+    poisson_short_flows,
+    to_fluid_specs,
+)
+
+
+class TestGenerators:
+    def test_long_lived(self):
+        flows = long_lived("cubic", 5, rtt=0.04)
+        assert len(flows) == 5
+        assert all(f.cc == "cubic" and f.rtt == 0.04 for f in flows)
+        assert long_lived("bbr", 0) == []
+
+    def test_poisson_arrival_count_near_rate(self):
+        rng = random.Random(1)
+        flows = poisson_short_flows(
+            "cubic", arrival_rate=5.0, duration=100.0,
+            mean_size=50_000, rng=rng,
+        )
+        assert len(flows) == pytest.approx(500, rel=0.25)
+        assert all(0 <= f.start_time < 100.0 for f in flows)
+
+    def test_poisson_sizes_heavy_tailed_with_right_mean(self):
+        rng = random.Random(7)
+        flows = poisson_short_flows(
+            "cubic", arrival_rate=20.0, duration=200.0,
+            mean_size=50_000, rng=rng,
+        )
+        sizes = [f.size_bytes for f in flows]
+        mean = sum(sizes) / len(sizes)
+        assert mean == pytest.approx(50_000, rel=0.4)
+        assert max(sizes) > 5 * mean  # Heavy tail.
+
+    def test_poisson_deterministic_per_seed(self):
+        a = poisson_short_flows(
+            "bbr", 2.0, 50.0, 10_000, random.Random(3)
+        )
+        b = poisson_short_flows(
+            "bbr", 2.0, 50.0, 10_000, random.Random(3)
+        )
+        assert a == b
+
+    def test_on_off_bursts_cover_duration(self):
+        rng = random.Random(2)
+        flows = on_off_flows(
+            "bbr", count=2, on_seconds=4, off_seconds=6,
+            duration=60, rng=rng,
+        )
+        # Each flow: one burst per 10 s period → ~6 bursts each.
+        assert len(flows) == pytest.approx(12, abs=3)
+        for f in flows:
+            assert f.stop_time is not None
+            assert 0 < f.stop_time - f.start_time <= 4.0 + 1e-9
+
+    def test_offered_load(self):
+        flows = [
+            WorkloadFlow("cubic", 0.0, size_bytes=1e6),
+            WorkloadFlow("cubic", 1.0, size_bytes=2e6),
+            WorkloadFlow("bbr", 0.0),  # Elastic: excluded.
+        ]
+        assert expected_offered_load(flows, 10.0) == pytest.approx(3e5)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            poisson_short_flows("c", 0.0, 10, 1000, rng)
+        with pytest.raises(ValueError):
+            poisson_short_flows("c", 1.0, 10, 0, rng)
+        with pytest.raises(ValueError):
+            poisson_short_flows("c", 1.0, 10, 1000, rng, size_shape=1.0)
+        with pytest.raises(ValueError):
+            on_off_flows("c", 1, 0, 1, 10, rng)
+        with pytest.raises(ValueError):
+            long_lived("c", -1)
+        with pytest.raises(ValueError):
+            expected_offered_load([], 0.0)
+
+
+class TestFluidFiniteFlows:
+    def test_stop_time_halts_flow(self):
+        link = LinkConfig.from_mbps_ms(50, 40, 3)
+        specs = [
+            FluidSpec("cubic"),
+            FluidSpec("cubic", stop_time=10.0),
+        ]
+        result = run_fluid(link, specs, duration=40)
+        persistent, stopped = result.flows
+        assert stopped.delivered_bytes < persistent.delivered_bytes
+        # After the stop the survivor takes the whole link.
+        sim = FluidSimulation(link, specs)
+        sim.run(40)
+        assert not sim._is_active(1, 20.0)
+
+    def test_size_bytes_completes_flow(self):
+        link = LinkConfig.from_mbps_ms(50, 40, 3)
+        specs = [
+            FluidSpec("cubic"),
+            FluidSpec("cubic", size_bytes=2e6),
+        ]
+        sim = FluidSimulation(link, specs)
+        result = sim.run(60)
+        assert sim._finished[1]
+        assert result.flows[1].delivered_bytes == pytest.approx(
+            2e6, rel=0.05
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FluidSpec("cubic", start_time=5.0, stop_time=5.0)
+        with pytest.raises(ValueError):
+            FluidSpec("cubic", size_bytes=0)
+
+    def test_churn_does_not_break_utilization(self):
+        rng = random.Random(4)
+        link = LinkConfig.from_mbps_ms(50, 40, 3)
+        specs = to_fluid_specs(
+            long_lived("cubic", 2)
+            + long_lived("bbr", 2)
+            + poisson_short_flows(
+                "cubic", 1.0, 40.0, 200_000, rng
+            )
+        )
+        result = run_fluid(link, specs, duration=40, warmup=10)
+        total = result.aggregate_throughput()
+        assert total == pytest.approx(link.capacity, rel=0.15)
+
+
+class TestPacketFiniteFlows:
+    def test_max_bytes_stops_sender(self):
+        link = LinkConfig.from_mbps_ms(10, 20, 3)
+        result = run_dumbbell(
+            link,
+            [FlowSpec("cubic"), FlowSpec("cubic", max_bytes=500_000)],
+            duration=20,
+        )
+        bulk, finite = result.flows
+        assert finite.delivered_bytes <= 500_000 * 1.01
+        assert bulk.delivered_bytes > finite.delivered_bytes
+
+    def test_short_flow_completes_quickly_then_releases_link(self):
+        link = LinkConfig.from_mbps_ms(10, 20, 3)
+        result = run_dumbbell(
+            link,
+            [FlowSpec("cubic"), FlowSpec("bbr", max_bytes=150_000)],
+            duration=20,
+        )
+        bulk = result.flows[0]
+        # The bulk flow ends up with nearly the whole link on average.
+        assert bulk.throughput_mbps > 8.0
+
+    def test_max_bytes_validation(self):
+        from repro.cc import make_controller
+        from repro.sim.endpoints import Sender
+        from repro.sim.engine import EventLoop
+        from repro.sim.stats import FlowStats
+
+        with pytest.raises(ValueError):
+            Sender(
+                EventLoop(),
+                0,
+                make_controller("cubic"),
+                lambda p: None,
+                FlowStats(0),
+                max_bytes=0,
+            )
