@@ -17,9 +17,12 @@ with strings (``make_controller("bbr", mss=1500)``).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.cc.signals import LossEvent, RateSample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 #: Initial congestion window, in segments (RFC 6928).
 INITIAL_CWND_SEGMENTS = 10
@@ -48,6 +51,10 @@ class CongestionControl(abc.ABC):
         self.mss = mss
         self.cwnd: float = INITIAL_CWND_SEGMENTS * mss
         self.pacing_rate: Optional[float] = None
+        #: Optional telemetry bus (see :mod:`repro.obs`); None = disabled.
+        self.obs: Optional["Telemetry"] = None
+        #: Flow identity stamped onto emitted events by the substrate.
+        self.flow_id: Optional[int] = None
 
     @abc.abstractmethod
     def on_ack(self, sample: RateSample) -> None:
@@ -59,6 +66,33 @@ class CongestionControl(abc.ABC):
 
     def on_sent(self, now: float, in_flight: int) -> None:
         """Hook invoked after each packet transmission (optional)."""
+
+    # -- telemetry ---------------------------------------------------------
+
+    def emit(self, name: str, now: float, **fields: object) -> None:
+        """Emit a typed telemetry event tagged with this flow's identity.
+
+        A no-op when no bus is attached, so controllers call this
+        unconditionally at transition points.
+        """
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                name, time=now, cc=self.name, flow_id=self.flow_id, **fields
+            )
+
+    def emit_state(self, now: float, old: Optional[str], new: str) -> None:
+        """Emit a ``cc.state`` state-machine transition event."""
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                "cc.state",
+                time=now,
+                cc=self.name,
+                flow_id=self.flow_id,
+                **{"from": old, "to": new},
+            )
+            obs.count("cc.state_transitions")
 
     @property
     def min_cwnd(self) -> float:

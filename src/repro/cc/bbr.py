@@ -121,7 +121,7 @@ class BBRv1(CongestionControl):
         if self.state == STARTUP:
             self._check_full_pipe()
             if self.full_pipe:
-                self._enter_drain()
+                self._enter_drain(now)
         if self.state == DRAIN and sample.in_flight <= self.bdp():
             self._enter_probe_bw(now)
         if self.state == PROBE_BW:
@@ -180,12 +180,14 @@ class BBRv1(CongestionControl):
         if self._full_bw_count >= 3:
             self.full_pipe = True
 
-    def _enter_drain(self) -> None:
+    def _enter_drain(self, now: float) -> None:
+        self.emit_state(now, self.state, DRAIN)
         self.state = DRAIN
         self.pacing_gain = 1.0 / HIGH_GAIN
         self.cwnd_gain = HIGH_GAIN
 
     def _enter_probe_bw(self, now: float) -> None:
+        self.emit_state(now, self.state, PROBE_BW)
         self.state = PROBE_BW
         self.cwnd_gain = CWND_GAIN
         # Start in a neutral phase (index 2) so we do not probe immediately
@@ -209,6 +211,7 @@ class BBRv1(CongestionControl):
             self._handle_probe_rtt(now, sample)
 
     def _enter_probe_rtt(self, now: float) -> None:
+        self.emit_state(now, self.state, PROBE_RTT)
         self.state = PROBE_RTT
         self._prior_cwnd = max(self.cwnd, self._prior_cwnd)
         self.pacing_gain = 1.0
@@ -240,6 +243,7 @@ class BBRv1(CongestionControl):
         if self.full_pipe:
             self._enter_probe_bw(now)
         else:
+            self.emit_state(now, self.state, STARTUP)
             self.state = STARTUP
             self.pacing_gain = HIGH_GAIN
             self.cwnd_gain = HIGH_GAIN

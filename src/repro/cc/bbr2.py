@@ -167,6 +167,14 @@ class BBRv2(CongestionControl):
                 self.inflight_hi = max(
                     bound * (1.0 - BETA), self.min_cwnd
                 )
+                self.emit(
+                    "cc.backoff",
+                    now,
+                    kind="inflight_hi_cut",
+                    beta=BETA,
+                    loss_rate=loss_rate,
+                    inflight_hi=self.inflight_hi,
+                )
                 if self.state == PROBE_UP:
                     self._enter_phase(PROBE_DOWN, now)
         self._round_lost_bytes = 0
@@ -178,6 +186,7 @@ class BBRv2(CongestionControl):
         if self.state == STARTUP:
             self._check_full_pipe()
             if self.full_pipe:
+                self.emit_state(now, self.state, DRAIN)
                 self.state = DRAIN
                 self.pacing_gain = 0.5
         if self.state == DRAIN and sample.in_flight <= self.bdp():
@@ -204,6 +213,8 @@ class BBRv2(CongestionControl):
         self._check_probe_rtt(now, sample)
 
     def _enter_phase(self, phase: str, now: float) -> None:
+        if phase != self.state:
+            self.emit_state(now, self.state, phase)
         self.state = phase
         self._phase_stamp = now
         self.pacing_gain = {
@@ -231,6 +242,7 @@ class BBRv2(CongestionControl):
             and self.state != STARTUP
             and now - self._rtprop_stamp > PROBE_RTT_INTERVAL
         ):
+            self.emit_state(now, self.state, PROBE_RTT)
             self.state = PROBE_RTT
             self.pacing_gain = 1.0
             self._prior_cwnd = max(self.cwnd, self._prior_cwnd)

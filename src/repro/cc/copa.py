@@ -146,9 +146,27 @@ class Copa(CongestionControl):
         nearly_empty = queuing_delay < 0.1 * max(rtt_min, 1e-9)
         if nearly_empty:
             self._last_empty_queue_time = now
-            self.delta = min(self.delta * 2.0, self.base_delta)
+            restored = min(self.delta * 2.0, self.base_delta)
+            if restored != self.delta:
+                self.emit(
+                    "cc.mode",
+                    now,
+                    mode="default",
+                    delta_before=self.delta,
+                    delta_after=restored,
+                )
+            self.delta = restored
         elif now - self._last_empty_queue_time > 5.0 * max(rtt_min, 1e-3):
-            self.delta = max(self.delta / 2.0, MIN_DELTA)
+            shrunk = max(self.delta / 2.0, MIN_DELTA)
+            if shrunk != self.delta:
+                self.emit(
+                    "cc.mode",
+                    now,
+                    mode="competitive",
+                    delta_before=self.delta,
+                    delta_after=shrunk,
+                )
+            self.delta = shrunk
             self._last_empty_queue_time = now
 
     def on_loss(self, event: LossEvent) -> None:
@@ -158,6 +176,14 @@ class Copa(CongestionControl):
         ):
             return
         self._last_loss = event.now
+        self.emit(
+            "cc.backoff",
+            event.now,
+            kind="multiplicative_decrease",
+            beta=0.5,
+            cwnd_before=self.cwnd,
+            cwnd_after=self.cwnd / 2.0,
+        )
         self.cwnd /= 2.0
         self.clamp_cwnd()
         self.velocity = 1.0

@@ -136,6 +136,14 @@ class Cubic(CongestionControl):
             return
         self._last_reduction = event.now
         cwnd_seg = self.cwnd_segments
+        self.emit(
+            "cc.backoff",
+            event.now,
+            kind="multiplicative_decrease",
+            beta=BETA_CUBIC,
+            cwnd_before=self.cwnd,
+            cwnd_after=cwnd_seg * BETA_CUBIC * self.mss,
+        )
         if (
             self.fast_convergence
             and self.w_max_segments is not None

@@ -54,6 +54,14 @@ class Reno(CongestionControl):
         ):
             return
         self._last_reduction = event.now
+        self.emit(
+            "cc.backoff",
+            event.now,
+            kind="multiplicative_decrease",
+            beta=self.beta,
+            cwnd_before=self.cwnd,
+            cwnd_after=self.cwnd * self.beta,
+        )
         self.cwnd *= self.beta
         self.clamp_cwnd()
         self.ssthresh = self.cwnd

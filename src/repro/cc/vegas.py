@@ -76,6 +76,7 @@ class Vegas(CongestionControl):
         if self._in_slow_start:
             if diff > GAMMA_PACKETS:
                 self._in_slow_start = False
+                self.emit_state(sample.now, "SLOW_START", "AVOIDANCE")
                 self.cwnd -= self.mss  # Back off the overshoot.
             elif self._grow_this_round:
                 self.cwnd *= 2.0
@@ -97,5 +98,13 @@ class Vegas(CongestionControl):
             return
         self._last_reduction = event.now
         self._in_slow_start = False
+        self.emit(
+            "cc.backoff",
+            event.now,
+            kind="multiplicative_decrease",
+            beta=0.5,
+            cwnd_before=self.cwnd,
+            cwnd_after=self.cwnd / 2.0,
+        )
         self.cwnd /= 2.0
         self.clamp_cwnd()

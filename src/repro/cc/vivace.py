@@ -155,7 +155,7 @@ class Vivace(CongestionControl):
             self._mi_phase = 1
         else:
             self._mi_phase = 0
-            self._apply_gradient_step()
+            self._apply_gradient_step(now)
             self._pair_utilities = []
         self._begin_mi(now)
 
@@ -171,7 +171,7 @@ class Vivace(CongestionControl):
         )
         return (second - first) / elapsed
 
-    def _apply_gradient_step(self) -> None:
+    def _apply_gradient_step(self, now: float) -> None:
         if len(self._pair_utilities) != 2:
             return
         u_plus, u_minus = self._pair_utilities
@@ -187,4 +187,13 @@ class Vivace(CongestionControl):
             self._amplifier = 1.0
         self._last_direction = direction
         step = direction * EPSILON * self._amplifier * self.rate
+        rate_before = self.rate
         self.rate = max(self.rate + step, MIN_RATE)
+        self.emit(
+            "cc.rate_step",
+            now,
+            direction=direction,
+            amplifier=self._amplifier,
+            rate_before=rate_before,
+            rate_after=self.rate,
+        )

@@ -8,13 +8,19 @@ Subcommands:
 * ``figure``   — regenerate a paper figure (fig1 … fig12) and render it.
 * ``validate`` — score the model vs Ware et al. against a simulator sweep.
 * ``evolve``   — play the CCA-selection game via best-response dynamics.
+* ``report``   — summarize a JSONL trace written with ``--trace-out``.
 * ``list``     — list available figures and congestion controls.
+
+``simulate`` and ``figure`` accept ``--profile`` (print telemetry
+counters/timers after the run) and ``--trace-out PATH`` (write a run
+manifest plus a JSONL event/sample trace; see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import List, Optional
 
 from repro.cc import available_algorithms
@@ -42,6 +48,60 @@ def _add_link_args(parser: argparse.ArgumentParser) -> None:
 
 def _link_from(args: argparse.Namespace) -> LinkConfig:
     return LinkConfig.from_mbps_ms(args.mbps, args.rtt_ms, args.buffer_bdp)
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {value}"
+        )
+    return parsed
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect telemetry and print counters/timers after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event/sample trace (plus a sibling "
+        "<stem>.manifest.json run manifest) to PATH",
+    )
+    parser.add_argument(
+        "--trace-interval",
+        type=_positive_float,
+        default=0.1,
+        help="per-flow sampling period in seconds for --trace-out",
+    )
+
+
+def _obs_from(args: argparse.Namespace):
+    """Build a telemetry bus when --profile/--trace-out ask for one."""
+    if not (args.profile or args.trace_out):
+        return None
+    from repro.obs import Telemetry
+
+    interval = args.trace_interval if args.trace_out else None
+    return Telemetry(sample_interval=interval)
+
+
+def _print_profile(obs) -> None:
+    snap = obs.snapshot()
+    print("profile:")
+    for name, value in sorted(snap["counters"].items()):
+        print(f"  {name:<28} {value:g}")
+    for name, timer in sorted(snap["timers"].items()):
+        print(
+            f"  {name:<28} {timer['calls']} calls, "
+            f"{timer['total_s']:.3f}s total"
+        )
+    if snap["dropped_records"]:
+        print(f"  (dropped {snap['dropped_records']} records at cap)")
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -96,6 +156,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError:
             print(f"bad mix entry {item!r}; use name:count", file=sys.stderr)
             return 2
+    obs = _obs_from(args)
+    wall_start = perf_counter()
     result = run_mix(
         link,
         mix,
@@ -103,16 +165,77 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         backend=args.backend,
         trials=args.trials,
         seed=args.seed,
+        obs=obs,
     )
+    wall_time = perf_counter() - wall_start
     print(f"link: {link.describe()}  backend={args.backend}")
     for cc, count in mix:
         if count == 0:
             continue
-        print(
+        key = cc.lower()
+        line = (
             f"  {cc:>8} ×{count}: {result.per_flow_mbps(cc):6.2f} Mbps/flow"
         )
+        if key in result.loss_rate:
+            line += (
+                f"  loss {result.loss_rate[key] * 100:5.2f}%"
+                f"  retx {result.retransmits.get(key, 0.0):6.1f}"
+            )
+        print(line)
     print(f"  queuing delay: {result.mean_queuing_delay * 1e3:.1f} ms")
+    print(f"  drop rate: {result.drop_rate * 100:.2f}%")
+
+    if args.trace_out:
+        try:
+            _write_simulate_trace(args, link, mix, result, obs, wall_time)
+        except OSError as exc:
+            print(f"cannot write trace: {exc}", file=sys.stderr)
+            return 2
+    if obs is not None and args.profile:
+        _print_profile(obs)
     return 0
+
+
+def _write_simulate_trace(
+    args: argparse.Namespace, link, mix, result, obs, wall_time: float
+) -> int:
+    """Write the manifest + JSONL trace for an instrumented simulate run."""
+    from repro.obs import RunManifest, manifest_path_for, write_trace
+
+    flow_rows = []
+    flow_id = 0
+    for cc, count in mix:
+        key = cc.lower()
+        for _ in range(count):
+            row = {
+                "flow_id": flow_id,
+                "cc": key,
+                "throughput_mbps": result.per_flow_mbps(cc),
+                "retransmits": result.retransmits.get(key, 0.0),
+            }
+            if key in result.loss_rate:
+                row["loss_rate"] = result.loss_rate[key]
+            flow_rows.append(row)
+            flow_id += 1
+    manifest = RunManifest.build(
+        label="simulate",
+        link=link,
+        mix=mix,
+        backend=args.backend,
+        duration=args.duration,
+        seed=args.seed,
+        trials=args.trials,
+        warmup=args.duration / 6.0,
+        obs=obs,
+        wall_time_s=wall_time,
+        flows=flow_rows,
+    )
+    sibling = manifest_path_for(args.trace_out)
+    manifest.write(sibling)
+    records = write_trace(args.trace_out, obs, manifest=manifest)
+    print(f"  wrote {records} trace records to {args.trace_out}")
+    print(f"  wrote manifest to {sibling}")
+    return records
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -123,7 +246,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    produced = FIGURES[key](scale=args.scale)
+    obs = _obs_from(args)
+    if obs is None:
+        produced = FIGURES[key](scale=args.scale)
+    else:
+        # Figures drive run_mix internally without an obs parameter, so
+        # instrument them by installing the bus as the process default.
+        from repro.obs import use
+
+        with use(obs):
+            produced = FIGURES[key](scale=args.scale)
     figures = produced if isinstance(produced, list) else [produced]
     for fig in figures:
         print(fig.render())
@@ -132,6 +264,32 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             path = f"{args.csv_dir}/{fig.figure_id}.csv"
             fig.to_csv(path)
             print(f"(wrote {path})")
+    if args.trace_out:
+        from repro.obs import write_trace
+
+        try:
+            records = write_trace(args.trace_out, obs)
+        except OSError as exc:
+            print(f"cannot write trace: {exc}", file=sys.stderr)
+            return 2
+        print(f"(wrote {records} trace records to {args.trace_out})")
+    if obs is not None and args.profile:
+        _print_profile(obs)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_report
+
+    try:
+        report = load_report(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
     return 0
 
 
@@ -226,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -239,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--csv-dir", default=None, help="also write CSVs to this directory"
     )
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser(
@@ -275,6 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=100.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_evolve)
+
+    p = sub.add_parser(
+        "report",
+        help="summarize a JSONL trace written with --trace-out",
+    )
+    p.add_argument("trace", help="path to the JSONL trace file")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("list", help="list figures and algorithms")
     p.set_defaults(func=_cmd_list)

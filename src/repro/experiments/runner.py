@@ -11,24 +11,41 @@ multi-trial averaging and seeded per-trial jitter, mirroring the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.fluidsim.core import FluidSpec, run_fluid
 from repro.sim.network import FlowSpec, run_dumbbell
 from repro.util.config import LinkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 BACKENDS = ("packet", "fluid")
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Per-CCA mean per-flow throughput for one scenario (bytes/second)."""
+    """Per-CCA scenario aggregates, averaged over trials.
+
+    Attributes:
+        per_flow: Mean per-flow throughput by CCA (bytes/second).
+        aggregate: Total throughput by CCA (bytes/second).
+        mean_queuing_delay: Mean bottleneck queuing delay (seconds).
+        loss_rate: Mean per-flow loss rate by CCA (fraction of sent
+            data lost; bytes for the fluid backend, packets for the
+            packet backend).
+        retransmits: Mean per-flow retransmission count by CCA.
+        drop_rate: Bottleneck drop rate (shared by all flows).
+    """
 
     per_flow: Dict[str, float]
     aggregate: Dict[str, float]
     mean_queuing_delay: float
+    loss_rate: Dict[str, float] = field(default_factory=dict)
+    retransmits: Dict[str, float] = field(default_factory=dict)
+    drop_rate: float = 0.0
 
     def per_flow_mbps(self, cc: str) -> float:
         """Per-flow mean throughput of class ``cc`` in Mbps."""
@@ -45,6 +62,7 @@ def run_mix(
     seed: int = 0,
     rtts: Optional[Dict[str, float]] = None,
     loss_mode: str = "proportional",
+    obs: Optional["Telemetry"] = None,
 ) -> ScenarioResult:
     """Run a flow mix and return per-CCA mean throughputs.
 
@@ -60,6 +78,8 @@ def run_mix(
         seed: Base RNG seed (fluid backend jitter / loss lottery).
         rtts: Optional per-CCA base RTT override in seconds.
         loss_mode: Fluid-backend CUBIC synchronization mode.
+        obs: Optional telemetry bus threaded into the substrate;
+            defaults to the process-wide bus (usually disabled).
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend}")
@@ -68,9 +88,16 @@ def run_mix(
     if warmup is None:
         warmup = duration / 6.0
 
+    from repro.obs.bus import resolve
+
+    obs = resolve(obs)
+
     per_flow_samples: Dict[str, List[float]] = {}
     aggregate_samples: Dict[str, List[float]] = {}
+    loss_samples: Dict[str, List[float]] = {}
+    retx_samples: Dict[str, List[float]] = {}
     delay_samples: List[float] = []
+    drop_samples: List[float] = []
     for trial in range(trials):
         result = _run_once(
             link,
@@ -81,8 +108,10 @@ def run_mix(
             seed + trial,
             rtts,
             loss_mode,
+            obs,
         )
         delay_samples.append(result.mean_queuing_delay)
+        drop_samples.append(result.drop_rate)
         for cc, _count in mix:
             cc = cc.lower()
             flows = result.by_cc(cc)
@@ -94,11 +123,20 @@ def run_mix(
             aggregate_samples.setdefault(cc, []).append(
                 result.aggregate_throughput(cc)
             )
+            loss_samples.setdefault(cc, []).append(
+                mean(f.loss_rate for f in flows)
+            )
+            retx_samples.setdefault(cc, []).append(
+                mean(f.retransmits for f in flows)
+            )
 
     return ScenarioResult(
         per_flow={cc: mean(v) for cc, v in per_flow_samples.items()},
         aggregate={cc: mean(v) for cc, v in aggregate_samples.items()},
         mean_queuing_delay=mean(delay_samples),
+        loss_rate={cc: mean(v) for cc, v in loss_samples.items()},
+        retransmits={cc: mean(v) for cc, v in retx_samples.items()},
+        drop_rate=mean(drop_samples),
     )
 
 
@@ -111,6 +149,7 @@ def _run_once(
     seed: int,
     rtts: Optional[Dict[str, float]],
     loss_mode: str,
+    obs: Optional["Telemetry"] = None,
 ):
     def rtt_for(cc: str) -> Optional[float]:
         if rtts is None:
@@ -123,7 +162,9 @@ def _run_once(
             for cc, count in mix
             for _ in range(count)
         ]
-        return run_dumbbell(link, specs, duration=duration, warmup=warmup)
+        return run_dumbbell(
+            link, specs, duration=duration, warmup=warmup, obs=obs
+        )
     fluid_specs = [
         FluidSpec(cc=cc, rtt=rtt_for(cc))
         for cc, count in mix
@@ -137,6 +178,7 @@ def _run_once(
         seed=seed,
         start_jitter=min(1.0, duration / 30.0),
         loss_mode=loss_mode,
+        obs=obs,
     )
 
 

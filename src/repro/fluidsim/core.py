@@ -32,10 +32,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.network import FlowResult, SimulationResult
 from repro.util.config import LinkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 #: Loss-assignment modes (CUBIC synchronization levels, §2.4).
 LOSS_MODES = ("sync", "desync", "proportional")
@@ -110,6 +114,12 @@ class FluidSimulation:
             :attr:`trace`; per-flow backoff times are always recorded in
             :attr:`loss_events`.  This is how the paper "checked the
             traces" for CUBIC synchronization (§3.2, §5).
+        obs: Optional telemetry bus, attached to every fluid flow (so
+            BBR phase transitions and backoffs become typed events) and
+            fed overflow/drop counters.  When the bus has a
+            ``sample_interval`` and ``trace_interval`` is unset, trace
+            snapshots run at that interval and are mirrored onto the bus
+            as per-flow ``sample`` records.
     """
 
     def __init__(
@@ -121,6 +131,7 @@ class FluidSimulation:
         seed: int = 0,
         start_jitter: float = 0.0,
         trace_interval: Optional[float] = None,
+        obs: Optional["Telemetry"] = None,
     ) -> None:
         from repro.fluidsim.flows import make_fluid_flow
 
@@ -133,6 +144,7 @@ class FluidSimulation:
         self.link = link
         self.loss_mode = loss_mode
         self.rng = random.Random(seed)
+        self.obs = obs
 
         self.specs = list(flows)
         self.flows = []
@@ -149,6 +161,7 @@ class FluidSimulation:
                 mss=link.mss,
                 **spec.cc_kwargs,
             )
+            flow.obs = obs
             self.flows.append(flow)
 
         min_rtt = min(f.rtt for f in self.flows)
@@ -161,7 +174,11 @@ class FluidSimulation:
         self._drop_accumulator = [0.0] * len(self.flows)
         self._drop_threshold = [float(link.mss)] * len(self.flows)
 
-        # Optional tracing.
+        # Optional tracing.  An instrumented run with a sampling cadence
+        # inherits it as the trace interval, so fluid snapshots land in
+        # the same unified JSONL stream as packet-sim tracer samples.
+        if trace_interval is None and obs is not None:
+            trace_interval = obs.sample_interval
         if trace_interval is not None and trace_interval <= 0:
             raise ValueError(
                 f"trace_interval must be positive, got {trace_interval}"
@@ -187,6 +204,7 @@ class FluidSimulation:
         self._measure_start = 0.0
         self.queue_bytes = 0.0
         self._has_run = False
+        self._steps_run = 0
 
     def _is_active(self, i: int, now: float) -> bool:
         """Whether flow ``i`` is currently sending."""
@@ -278,6 +296,7 @@ class FluidSimulation:
         if not 0 <= warmup < duration:
             raise ValueError(f"warmup must lie in [0, duration)")
         self._has_run = True
+        wall_start = perf_counter()
         capacity = self.link.capacity
         buffer_bytes = self.link.buffer_bytes
         dt = self.dt
@@ -333,6 +352,20 @@ class FluidSimulation:
             ):
                 self._next_trace = now + self.trace_interval
                 self.trace.append((now, list(inflights), queue))
+                if self.obs is not None:
+                    self.obs.gauge("link.queue_bytes", queue)
+                    for i, flow in enumerate(self.flows):
+                        if not self._is_active(i, now):
+                            continue
+                        self.obs.sample(
+                            now,
+                            flow.flow_id,
+                            cc=flow.name,
+                            cwnd=inflights[i],
+                            in_flight=inflights[i],
+                            pacing_rate=prev_rate[i],
+                            state=flow.state,
+                        )
 
             # 4. Integrate throughput.
             utilization = 0.0
@@ -355,6 +388,10 @@ class FluidSimulation:
                 self._queue_integral += queue * dt
                 self._time_simulated += dt
 
+        self._steps_run = steps
+        if self.obs is not None:
+            self.obs.count("fluid.steps", steps)
+            self.obs.record_time("sim.run", perf_counter() - wall_start)
         return self._build_result(duration, warmup)
 
     def _handle_overflow(
@@ -370,6 +407,20 @@ class FluidSimulation:
         total_inflight = sum(inflights)
         if total_inflight <= 0:
             return buffer_bytes
+        if self.obs is not None:
+            # Fluid "drops" are byte quantities; packet counts follow by
+            # the MSS so fluid and packet traces share one counter set.
+            self.obs.count(
+                "link.dropped_packets",
+                max(int(excess / self.link.mss), 1),
+            )
+            self.obs.count("link.dropped_bytes", int(excess))
+            self.obs.event(
+                "link.drop",
+                time=now,
+                dropped_bytes=excess,
+                queued_bytes=buffer_bytes,
+            )
 
         # Assumption 3 of §2.3: packets are uniformly mixed in the buffer,
         # so drops land on flows in proportion to their in-flight share.
@@ -413,6 +464,9 @@ class FluidSimulation:
                     min_rtt=flow.rtt,
                     loss_rate=self._lost[i] / sent if sent > 0 else 0.0,
                     delivered_bytes=int(delivered),
+                    # Every lost byte must be re-sent by a reliable
+                    # transport: one retransmission per MSS of loss.
+                    retransmits=int(self._lost[i] / self.link.mss),
                 )
             )
         mean_queue = (
@@ -420,13 +474,18 @@ class FluidSimulation:
             if self._time_simulated > 0
             else 0.0
         )
+        total_sent = sum(self._delivered) + sum(self._lost)
+        drop_rate = sum(self._lost) / total_sent if total_sent > 0 else 0.0
+        if self.obs is not None:
+            self.obs.gauge("link.mean_queue_bytes", mean_queue)
         return SimulationResult(
             flows=flows,
             duration=duration,
             warmup=warmup,
             mean_queue_bytes=mean_queue,
             mean_queuing_delay=mean_queue / self.link.capacity,
-            drop_rate=0.0,
+            drop_rate=drop_rate,
+            events_processed=self._steps_run,
         )
 
 
@@ -439,8 +498,15 @@ def run_fluid(
     loss_mode: str = "proportional",
     seed: int = 0,
     start_jitter: float = 0.0,
+    obs: Optional["Telemetry"] = None,
 ) -> SimulationResult:
-    """Convenience one-shot fluid simulation run."""
+    """Convenience one-shot fluid simulation run.
+
+    ``obs`` defaults to the process-wide telemetry bus (usually None,
+    i.e. disabled); pass one explicitly to instrument a single run.
+    """
+    from repro.obs.bus import resolve
+
     sim = FluidSimulation(
         link,
         flows,
@@ -448,5 +514,6 @@ def run_fluid(
         loss_mode=loss_mode,
         seed=seed,
         start_jitter=start_jitter,
+        obs=resolve(obs),
     )
     return sim.run(duration, warmup)

@@ -12,10 +12,13 @@ assumptions validated against the packet simulator carry over.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.fluidsim.core import TickContext
 from repro.util.filters import WindowedMax, WindowedMin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 #: CUBIC constants (match repro.cc.cubic).
 C_CUBIC = 0.4
@@ -44,6 +47,36 @@ class FluidFlow:
         self.inflight = 10.0 * mss  # IW10.
         self._last_loss_time: Optional[float] = None
         self._last_rtt_measured = rtt
+        #: Optional telemetry bus; None (the default) means disabled, and
+        #: every emission site guards on that so uninstrumented sweeps pay
+        #: a single attribute test per event site.
+        self.obs: Optional["Telemetry"] = None
+
+    @property
+    def state(self) -> Optional[str]:
+        """State-machine label for tracing; None for stateless flows."""
+        return None
+
+    def emit(self, name: str, now: float, **fields: object) -> None:
+        """Emit a typed event tagged with this flow's CCA and id."""
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                name, time=now, cc=self.name, flow_id=self.flow_id, **fields
+            )
+
+    def emit_state(self, now: float, old: str, new: str) -> None:
+        """Emit a ``cc.state`` transition event (BBR-family phases)."""
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                "cc.state",
+                time=now,
+                cc=self.name,
+                flow_id=self.flow_id,
+                **{"from": old, "to": new},
+            )
+            obs.count("cc.state_transitions")
 
     def tick(self, ctx: TickContext) -> None:
         """Observe last tick's state and update :attr:`inflight`."""
@@ -139,9 +172,16 @@ class FluidCubic(FluidFlow):
         self._k = (self._w_max_pkts * (1.0 - BETA_CUBIC) / C_CUBIC) ** (
             1.0 / 3.0
         )
-        self.inflight = max(
-            self.inflight * BETA_CUBIC, 2.0 * self.mss
+        cut = max(self.inflight * BETA_CUBIC, 2.0 * self.mss)
+        self.emit(
+            "cc.backoff",
+            now,
+            kind="multiplicative_decrease",
+            beta=BETA_CUBIC,
+            cwnd_before=self.inflight,
+            cwnd_after=cut,
         )
+        self.inflight = cut
         self._epoch_start = None
         self._in_slow_start = False
 
@@ -172,7 +212,16 @@ class FluidReno(FluidFlow):
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
-        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        self.emit(
+            "cc.backoff",
+            now,
+            kind="multiplicative_decrease",
+            beta=0.5,
+            cwnd_before=self.inflight,
+            cwnd_after=cut,
+        )
+        self.inflight = cut
         self._in_slow_start = False
 
 
@@ -234,6 +283,14 @@ class FluidBBR(FluidFlow):
         value = self._bw_filter.get()
         return value if value is not None else 0.0
 
+    @property
+    def state(self) -> str:
+        """Current BBR phase.  The fluid model drains within one tick on
+        STARTUP exit, so DRAIN never appears as a dwelt-in state here."""
+        if self._probe_rtt_until is not None:
+            return "PROBE_RTT"
+        return "STARTUP" if self._in_startup else "PROBE_BW"
+
     def tick(self, ctx: TickContext) -> None:
         now = ctx.now
         self._last_rtt_measured = ctx.rtt_measured
@@ -254,6 +311,11 @@ class FluidBBR(FluidFlow):
             self._rtt_min_stamp = now
             self._cycle_stamp = now
             self.inflight = self._inflight_before_probe
+            self.emit_state(
+                now,
+                "PROBE_RTT",
+                "STARTUP" if self._in_startup else "PROBE_BW",
+            )
 
         if now - self._rtt_min_stamp > self.PROBE_RTT_INTERVAL:
             # RTprop filter expired: drain to re-measure (state 4 of §2.1).
@@ -305,6 +367,7 @@ class FluidBBR(FluidFlow):
             self._in_startup = False
             self._cycle_index = 2
             self._cycle_stamp = now
+            self.emit_state(now, "STARTUP", "PROBE_BW")
             # Drain: fall toward 1 estimated BDP before cruising.
             target = bw * self.rtt_min_est
             self.inflight = min(
@@ -324,9 +387,11 @@ class FluidBBR(FluidFlow):
             self.rtt_min_est = min(self.rtt_min_est, rtt_measured)
 
     def _enter_probe_rtt(self, now: float) -> None:
+        old = "STARTUP" if self._in_startup else "PROBE_BW"
         self._probe_rtt_until = now + self.PROBE_RTT_DURATION
         self._inflight_before_probe = self.inflight
         self.inflight = 4.0 * self.mss
+        self.emit_state(now, old, "PROBE_RTT")
 
 
 class FluidBBR2(FluidBBR):
@@ -389,9 +454,18 @@ class FluidBBR2(FluidBBR):
         if not self._loss_guard(now):
             return
         bound = min(self.inflight_hi, self.inflight)
+        loss_rate = self._round_lost / total
         self.inflight_hi = max(bound * (1.0 - self.BETA), 2.0 * self.mss)
         self.inflight = min(self.inflight, self.inflight_hi)
         self._next_probe_up = now + self.PROBE_UP_INTERVAL
+        self.emit(
+            "cc.backoff",
+            now,
+            kind="inflight_hi_cut",
+            beta=self.BETA,
+            loss_rate=loss_rate,
+            inflight_hi=self.inflight_hi,
+        )
 
 
 class FluidVegas(FluidFlow):
@@ -445,7 +519,16 @@ class FluidVegas(FluidFlow):
         if not self._loss_guard(now):
             return
         self._in_slow_start = False
-        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        self.emit(
+            "cc.backoff",
+            now,
+            kind="multiplicative_decrease",
+            beta=0.5,
+            cwnd_before=self.inflight,
+            cwnd_after=cut,
+        )
+        self.inflight = cut
 
 
 class FluidCopa(FluidFlow):
@@ -514,7 +597,16 @@ class FluidCopa(FluidFlow):
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
-        self.inflight = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        self.emit(
+            "cc.backoff",
+            now,
+            kind="multiplicative_decrease",
+            beta=0.5,
+            cwnd_before=self.inflight,
+            cwnd_after=cut,
+        )
+        self.inflight = cut
         self.velocity = 1.0
 
 

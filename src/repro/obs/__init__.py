@@ -1,0 +1,51 @@
+"""repro.obs — unified telemetry across both simulator substrates.
+
+A low-overhead structured telemetry layer: a bus of counters, gauges,
+timers, and typed events (:mod:`repro.obs.bus`); per-run JSON manifests
+(:mod:`repro.obs.manifest`); a unified JSONL trace format joining
+periodic controller samples with the event stream
+(:mod:`repro.obs.export`); and run-summary reports rendered from a
+manifest + trace (:mod:`repro.obs.report`).
+
+Telemetry is **disabled by default** and is a strict no-op when disabled:
+every instrumentation site in the packet simulator, the fluid simulator,
+and the congestion controllers guards on ``obs is not None``.  Enable it
+by passing a :class:`Telemetry` instance (``run_mix(..., obs=bus)``) or
+by installing a process default (``with obs.use(bus): ...``), which is
+what ``repro-bbr simulate --trace-out``/``--profile`` do.
+"""
+
+from repro.obs.bus import (
+    GaugeStat,
+    Telemetry,
+    TelemetryEvent,
+    TimerStat,
+    get_default,
+    resolve,
+    set_default,
+    use,
+)
+from repro.obs.export import TraceData, read_trace, tracer_samples, write_trace
+from repro.obs.manifest import SCHEMA, RunManifest, manifest_path_for
+from repro.obs.report import FlowReport, RunReport, load_report
+
+__all__ = [
+    "GaugeStat",
+    "Telemetry",
+    "TelemetryEvent",
+    "TimerStat",
+    "get_default",
+    "resolve",
+    "set_default",
+    "use",
+    "TraceData",
+    "read_trace",
+    "tracer_samples",
+    "write_trace",
+    "SCHEMA",
+    "RunManifest",
+    "manifest_path_for",
+    "FlowReport",
+    "RunReport",
+    "load_report",
+]

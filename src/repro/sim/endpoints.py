@@ -11,12 +11,15 @@ timeout as a last resort for tail losses.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.cc.base import CongestionControl
 from repro.sim.engine import EventLoop
 from repro.sim.packet import Ack, LossEvent, Packet, RateSample
 from repro.sim.stats import FlowStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 #: Packets of reordering tolerated before a gap is declared a loss
 #: (fast-retransmit style dupack threshold).
@@ -36,6 +39,9 @@ class Sender:
         transmit: Callback that injects a packet into the network.
         stats: Statistics recorder for this flow.
         start_time: Absolute time at which the flow starts sending.
+        obs: Optional telemetry bus; loss declarations emit
+            ``flow.loss``/``flow.retransmit`` events and RTO firings
+            emit ``flow.rto``.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class Sender:
         stats: FlowStats,
         start_time: float = 0.0,
         max_bytes: Optional[int] = None,
+        obs: Optional["Telemetry"] = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
@@ -57,6 +64,7 @@ class Sender:
         self.stats = stats
         self.mss = cc.mss
         self.max_bytes = max_bytes
+        self.obs = obs
 
         self._next_seq = 0
         self._in_flight_bytes = 0
@@ -204,6 +212,23 @@ class Sender:
             lost_packets += 1
         if lost_packets:
             self.stats.record_loss(lost_packets)
+            if self.obs is not None:
+                self.obs.event(
+                    "flow.loss",
+                    time=self.loop.now,
+                    flow_id=self.flow_id,
+                    cc=self.cc.name,
+                    lost_packets=lost_packets,
+                    lost_bytes=lost_bytes,
+                )
+                self.obs.event(
+                    "flow.retransmit",
+                    time=self.loop.now,
+                    flow_id=self.flow_id,
+                    cc=self.cc.name,
+                    packets=lost_packets,
+                )
+                self.obs.count("flow.lost_packets", lost_packets)
             event = LossEvent(
                 lost_bytes=lost_bytes,
                 in_flight=self._in_flight_bytes,
@@ -240,6 +265,17 @@ class Sender:
             self._order.clear()
             self._in_flight_bytes = 0
             self.stats.record_loss(lost_packets)
+            if self.obs is not None:
+                self.obs.event(
+                    "flow.rto",
+                    time=now,
+                    flow_id=self.flow_id,
+                    cc=self.cc.name,
+                    lost_packets=lost_packets,
+                    lost_bytes=lost_bytes,
+                )
+                self.obs.count("flow.rto_firings")
+                self.obs.count("flow.lost_packets", lost_packets)
             self.cc.on_loss(
                 LossEvent(
                     lost_bytes=lost_bytes,

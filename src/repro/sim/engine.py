@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 
 class EventLoop:
@@ -20,13 +24,24 @@ class EventLoop:
         loop = EventLoop()
         loop.call_at(0.0, start_flow)
         loop.run_until(120.0)
+
+    Args:
+        obs: Optional :class:`repro.obs.bus.Telemetry` bus.  When set,
+            each ``run_until``/``run_all`` records its processed-event
+            count (counter ``sim.events``) and wall-clock time (timer
+            ``sim.run``).  The loop always maintains
+            :attr:`events_processed` regardless, so runs are auditable
+            even with telemetry disabled.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional["Telemetry"] = None) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        self.obs = obs
+        #: Total events executed by this loop across all run calls.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -55,6 +70,9 @@ class EventLoop:
         """
         self._running = True
         queue = self._queue
+        obs = self.obs
+        wall_start = time.perf_counter() if obs is not None else 0.0
+        processed = 0
         try:
             while queue and self._running:
                 when, _seq, callback = queue[0]
@@ -63,8 +81,13 @@ class EventLoop:
                 heapq.heappop(queue)
                 self._now = when
                 callback()
+                processed += 1
         finally:
             self._running = False
+            self.events_processed += processed
+            if obs is not None:
+                obs.count("sim.events", processed)
+                obs.record_time("sim.run", time.perf_counter() - wall_start)
         if self._now < end_time:
             self._now = end_time
 
@@ -76,6 +99,8 @@ class EventLoop:
         self._running = True
         count = 0
         queue = self._queue
+        obs = self.obs
+        wall_start = time.perf_counter() if obs is not None else 0.0
         try:
             while queue and self._running:
                 when, _seq, callback = heapq.heappop(queue)
@@ -88,6 +113,10 @@ class EventLoop:
                     )
         finally:
             self._running = False
+            self.events_processed += count
+            if obs is not None:
+                obs.count("sim.events", count)
+                obs.record_time("sim.run", time.perf_counter() - wall_start)
         return count
 
     def stop(self) -> None:

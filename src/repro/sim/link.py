@@ -11,10 +11,13 @@ drop reported to the :class:`~repro.sim.stats.LinkStats` recorder).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.sim.engine import EventLoop
 from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 
 class LinkStats:
@@ -73,6 +76,11 @@ class Link:
             arriving packets may be dropped early even though the
             physical buffer still has room (the drop-tail limit is still
             enforced on top).
+        obs: Optional telemetry bus.  When set, each drop emits a
+            ``link.drop`` event and bumps the ``link.dropped_packets`` /
+            ``link.dropped_bytes`` counters, and the queue depth is
+            sampled into the ``link.queue_bytes`` gauge on every
+            enqueue.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class Link:
         deliver: Callable[[Packet], None],
         on_drop: Optional[Callable[[Packet], None]] = None,
         aqm: Optional[object] = None,
+        obs: Optional["Telemetry"] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -100,6 +109,7 @@ class Link:
         self.deliver = deliver
         self.on_drop = on_drop
         self.aqm = aqm
+        self.obs = obs
         self.stats = LinkStats()
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
@@ -135,11 +145,23 @@ class Link:
             self.stats.record_occupancy(self.loop.now, self._queued_bytes)
         else:
             self._start_service(packet)
+        if self.obs is not None:
+            self.obs.gauge("link.queue_bytes", self._queued_bytes)
         return True
 
     def _record_drop(self, packet: Packet) -> None:
         self.stats.dropped_packets += 1
         self.stats.dropped_bytes += packet.size
+        if self.obs is not None:
+            self.obs.count("link.dropped_packets")
+            self.obs.count("link.dropped_bytes", packet.size)
+            self.obs.event(
+                "link.drop",
+                time=self.loop.now,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                queued_bytes=self._queued_bytes,
+            )
         if self.on_drop is not None:
             self.on_drop(packet)
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
     from repro.sim.aqm import CoDelConfig, REDConfig
 
 from repro.cc.base import make_controller
@@ -54,6 +55,7 @@ class FlowResult:
     min_rtt: Optional[float]
     loss_rate: float
     delivered_bytes: int
+    retransmits: int = 0
 
     @property
     def throughput_mbps(self) -> float:
@@ -71,6 +73,7 @@ class SimulationResult:
     mean_queue_bytes: float
     mean_queuing_delay: float
     drop_rate: float
+    events_processed: int = 0
 
     def by_cc(self, cc: str) -> List[FlowResult]:
         """All flow results running algorithm ``cc``."""
@@ -101,6 +104,11 @@ class DumbbellNetwork:
             §5 "Taming the Zoo" direction).
         codel: Optional :class:`repro.sim.aqm.CoDelConfig` for CoDel at
             the bottleneck.  Mutually exclusive with ``red``.
+        obs: Optional telemetry bus, threaded through the event loop,
+            bottleneck link, senders, and congestion controllers.  When
+            the bus has a ``sample_interval``, a
+            :class:`repro.sim.trace.CwndTracer` is attached that streams
+            periodic controller samples onto the bus.
     """
 
     def __init__(
@@ -110,6 +118,7 @@ class DumbbellNetwork:
         mss: Optional[int] = None,
         red: Optional["REDConfig"] = None,
         codel: Optional["CoDelConfig"] = None,
+        obs: Optional["Telemetry"] = None,
     ) -> None:
         from repro.sim.aqm import RED, CoDel
 
@@ -120,7 +129,8 @@ class DumbbellNetwork:
         self.link_config = link
         self.flow_specs = list(flows)
         self.mss = mss if mss is not None else link.mss
-        self.loop = EventLoop()
+        self.obs = obs
+        self.loop = EventLoop(obs=obs)
 
         aqm = None
         if red is not None:
@@ -134,6 +144,7 @@ class DumbbellNetwork:
             buffer_bytes=link.buffer_bytes,
             deliver=self._route_data,
             aqm=aqm,
+            obs=obs,
         )
 
         self.senders: List[Sender] = []
@@ -145,6 +156,8 @@ class DumbbellNetwork:
             if rtt <= 0:
                 raise ValueError(f"flow {flow_id}: rtt must be positive")
             cc = make_controller(spec.cc, mss=self.mss, **spec.cc_kwargs)
+            cc.obs = obs
+            cc.flow_id = flow_id
             stats = FlowStats(flow_id)
             sender = Sender(
                 loop=self.loop,
@@ -154,6 +167,7 @@ class DumbbellNetwork:
                 stats=stats,
                 start_time=spec.start_time,
                 max_bytes=spec.max_bytes,
+                obs=obs,
             )
             ack_path = DelayLine(self.loop, rtt / 2.0, sender.on_ack)
             receiver = Receiver(self.loop, stats, ack_path.send)
@@ -162,6 +176,15 @@ class DumbbellNetwork:
             )
             self.senders.append(sender)
             self.stats.append(stats)
+
+        if obs is not None and obs.sample_interval is not None:
+            from repro.sim.trace import CwndTracer
+
+            self.tracer: Optional[CwndTracer] = CwndTracer(
+                self, obs.sample_interval, obs=obs
+            )
+        else:
+            self.tracer = None
 
     def _route_data(self, packet: Packet) -> None:
         self._data_paths[packet.flow_id].send(packet)
@@ -191,10 +214,16 @@ class DumbbellNetwork:
                     min_rtt=stats.min_rtt,
                     loss_rate=stats.loss_rate,
                     delivered_bytes=stats.delivered_bytes,
+                    retransmits=stats.retransmits,
                 )
             )
         link_stats = self.bottleneck.stats
         mean_queue = link_stats.mean_occupancy(duration)
+        if self.obs is not None:
+            self.obs.count(
+                "link.forwarded_packets", link_stats.forwarded_packets
+            )
+            self.obs.gauge("link.mean_queue_bytes", mean_queue)
         return SimulationResult(
             flows=flows,
             duration=duration,
@@ -202,6 +231,7 @@ class DumbbellNetwork:
             mean_queue_bytes=mean_queue,
             mean_queuing_delay=mean_queue / self.link_config.capacity,
             drop_rate=link_stats.drop_rate,
+            events_processed=self.loop.events_processed,
         )
 
 
@@ -213,8 +243,15 @@ def run_dumbbell(
     mss: Optional[int] = None,
     red: Optional["REDConfig"] = None,
     codel: Optional["CoDelConfig"] = None,
+    obs: Optional["Telemetry"] = None,
 ) -> SimulationResult:
-    """Convenience one-shot: build a dumbbell, run it, return the result."""
+    """Convenience one-shot: build a dumbbell, run it, return the result.
+
+    ``obs`` defaults to the process-wide telemetry bus (usually None,
+    i.e. disabled); pass one explicitly to instrument a single run.
+    """
+    from repro.obs.bus import resolve
+
     return DumbbellNetwork(
-        link, flows, mss=mss, red=red, codel=codel
+        link, flows, mss=mss, red=red, codel=codel, obs=resolve(obs)
     ).run(duration, warmup)

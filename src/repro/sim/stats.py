@@ -22,6 +22,7 @@ class FlowStats:
         self.delivered_bytes = 0
         self.sent_packets = 0
         self.lost_packets = 0
+        self.retransmits = 0
         self.ack_count = 0
         self._rtt_sum = 0.0
         self._rtt_count = 0
@@ -44,8 +45,14 @@ class FlowStats:
             self.max_rtt = rtt
 
     def record_loss(self, packets: int = 1) -> None:
-        """Record packets declared lost by the sender."""
+        """Record packets declared lost by the sender.
+
+        Every declared-lost packet must be re-sent to complete the
+        transfer, so the loss simultaneously counts as scheduled
+        retransmissions (the quantity ``ss -i`` reports as ``retrans``).
+        """
         self.lost_packets += packets
+        self.retransmits += packets
 
     @property
     def mean_rtt(self) -> Optional[float]:

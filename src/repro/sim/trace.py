@@ -12,9 +12,12 @@ really was cwnd-limited" (§5) or "the CUBIC flows were synchronized"
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.network import DumbbellNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import Telemetry
 
 
 @dataclass
@@ -36,11 +39,16 @@ class CwndTracer:
     Args:
         network: The dumbbell to trace.
         interval: Sampling period in seconds.
+        obs: Optional telemetry bus; every poll is mirrored onto the bus
+            as a per-flow ``sample`` record (tagged with the CCA name),
+            which is how tracer output lands in the unified JSONL trace
+            (:mod:`repro.obs.export`).
     """
 
     network: DumbbellNetwork
     interval: float
     samples: List[TraceSample] = field(default_factory=list)
+    obs: Optional["Telemetry"] = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -53,6 +61,7 @@ class CwndTracer:
         now = self.network.loop.now
         for sender in self.network.senders:
             cc = sender.cc
+            state = getattr(cc, "state", None)
             self.samples.append(
                 TraceSample(
                     time=now,
@@ -60,9 +69,19 @@ class CwndTracer:
                     cwnd=cc.cwnd,
                     in_flight=sender.in_flight_bytes,
                     pacing_rate=cc.pacing_rate,
-                    state=getattr(cc, "state", None),
+                    state=state,
                 )
             )
+            if self.obs is not None:
+                self.obs.sample(
+                    now,
+                    sender.flow_id,
+                    cc=cc.name,
+                    cwnd=cc.cwnd,
+                    in_flight=sender.in_flight_bytes,
+                    pacing_rate=cc.pacing_rate,
+                    state=state,
+                )
         self.network.loop.call_later(self.interval, self._poll)
 
     def for_flow(self, flow_id: int) -> List[TraceSample]:

@@ -141,3 +141,87 @@ def test_evolve(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_simulate_prints_loss_and_drop_stats(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:2",
+            "--mbps",
+            "20",
+            "--duration",
+            "20",
+            "--backend",
+            "fluid",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loss" in out
+    assert "retx" in out
+    assert "drop rate" in out
+    assert "queuing delay" in out
+
+
+def test_simulate_trace_out_and_report_round_trip(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "30",
+            "--backend",
+            "fluid",
+            "--trace-out",
+            str(trace),
+            "--profile",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    assert "fluid.steps" in out
+    assert trace.exists()
+    manifest = tmp_path / "run.manifest.json"
+    assert manifest.exists()
+
+    # The trace must contain BBR phase transitions and drop counters.
+    import json
+
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    kinds = {r["kind"] for r in records}
+    assert {"manifest", "sample", "event", "counter"} <= kinds
+    states = [
+        r
+        for r in records
+        if r["kind"] == "event" and r["name"] == "cc.state"
+    ]
+    assert any(r["fields"]["cc"] == "bbr" for r in states)
+    counters = {
+        r["name"]: r["value"] for r in records if r["kind"] == "counter"
+    }
+    assert counters.get("link.dropped_packets", 0) > 0
+
+    code = main(["report", str(trace)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase dwell" in out
+    assert "bbr" in out
+    assert "PROBE_BW" in out
+
+
+def test_report_missing_file(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_report_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["report", str(bad)]) == 2
+    assert "malformed trace" in capsys.readouterr().err

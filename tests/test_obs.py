@@ -1,0 +1,289 @@
+"""Telemetry bus, trace export round-trips, manifests, and reports."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    Telemetry,
+    get_default,
+    load_report,
+    manifest_path_for,
+    read_trace,
+    resolve,
+    set_default,
+    tracer_samples,
+    use,
+    write_trace,
+)
+from repro.obs.report import RunReport
+from repro.sim.network import DumbbellNetwork, FlowSpec, run_dumbbell
+from repro.sim.trace import CwndTracer
+from repro.util.config import LinkConfig
+
+
+class TestTelemetryBus:
+    def test_counters_accumulate(self):
+        obs = Telemetry()
+        obs.count("x")
+        obs.count("x", 4)
+        assert obs.counter("x") == 5
+        assert obs.counter("never") == 0.0
+
+    def test_gauges_track_min_max_mean(self):
+        obs = Telemetry()
+        for v in (2.0, 8.0, 5.0):
+            obs.gauge("q", v)
+        stat = obs.gauges["q"]
+        assert stat.min == 2.0
+        assert stat.max == 8.0
+        assert stat.last == 5.0
+        assert stat.mean == pytest.approx(5.0)
+
+    def test_timer_contextmanager(self):
+        obs = Telemetry()
+        with obs.timeit("work"):
+            pass
+        with obs.timeit("work"):
+            pass
+        timer = obs.timers["work"]
+        assert timer.calls == 2
+        assert timer.total_s >= 0.0
+        assert timer.max_s <= timer.total_s
+
+    def test_events_are_typed_and_queryable(self):
+        obs = Telemetry()
+        obs.event("cc.state", time=1.5, cc="bbr", **{"from": "STARTUP",
+                                                     "to": "DRAIN"})
+        obs.event("link.drop", time=2.0, flow_id=0)
+        states = obs.events_named("cc.state")
+        assert len(states) == 1
+        assert states[0].fields["to"] == "DRAIN"
+        assert states[0].time == 1.5
+
+    def test_max_events_cap_counts_drops(self):
+        obs = Telemetry(max_events=2)
+        for i in range(5):
+            obs.event("e", time=float(i))
+        assert len(obs.events) == 2
+        assert obs.dropped_records == 3
+
+    def test_snapshot_is_json_serializable(self):
+        obs = Telemetry()
+        obs.count("c", 3)
+        obs.gauge("g", 1.0)
+        with obs.timeit("t"):
+            pass
+        obs.event("e", time=0.0)
+        obs.sample(0.0, 0, cwnd=10.0)
+        snap = obs.snapshot()
+        json.dumps(snap)  # Must not raise.
+        assert snap["counters"]["c"] == 3
+        assert snap["events"] == 1
+        assert snap["samples"] == 1
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry(max_events=0)
+        with pytest.raises(ValueError):
+            Telemetry(sample_interval=-0.1)
+
+
+class TestDefaultBus:
+    def test_resolve_prefers_explicit(self):
+        explicit = Telemetry()
+        installed = Telemetry()
+        set_default(installed)
+        try:
+            assert resolve(explicit) is explicit
+            assert resolve(None) is installed
+        finally:
+            set_default(None)
+        assert resolve(None) is None
+
+    def test_use_restores_previous(self):
+        bus = Telemetry()
+        assert get_default() is None
+        with use(bus) as active:
+            assert active is bus
+            assert get_default() is bus
+        assert get_default() is None
+
+
+class TestInstrumentedPacketRun:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        obs = Telemetry(sample_interval=0.05)
+        link = LinkConfig.from_mbps_ms(5, 20, 2)
+        net = DumbbellNetwork(
+            link, [FlowSpec("cubic"), FlowSpec("bbr")], obs=obs
+        )
+        result = net.run(duration=15.0)
+        return obs, net, result
+
+    def test_bbr_phase_transitions_recorded(self, traced_run):
+        obs, _net, _result = traced_run
+        states = obs.events_named("cc.state")
+        assert states, "expected cc.state events from the BBR flow"
+        pairs = {(e.fields["from"], e.fields["to"]) for e in states}
+        assert ("STARTUP", "DRAIN") in pairs
+        assert obs.counter("cc.state_transitions") == len(states)
+
+    def test_drop_and_loss_counters(self, traced_run):
+        obs, _net, result = traced_run
+        assert obs.counter("link.dropped_packets") > 0
+        assert obs.counter("link.dropped_bytes") > 0
+        assert obs.counter("flow.lost_packets") > 0
+        assert result.drop_rate > 0
+
+    def test_tracer_attached_and_mirrored(self, traced_run):
+        obs, net, _result = traced_run
+        assert net.tracer is not None
+        assert len(obs.samples) == len(net.tracer.samples)
+        assert {s["flow_id"] for s in obs.samples} == {0, 1}
+
+    def test_retransmits_surface_in_flow_results(self, traced_run):
+        _obs, _net, result = traced_run
+        cubic = result.by_cc("cubic")[0]
+        assert cubic.retransmits > 0
+        assert cubic.loss_rate > 0
+
+    def test_event_count_matches_result(self, traced_run):
+        obs, _net, result = traced_run
+        assert result.events_processed > 0
+        assert obs.counter("sim.events") == result.events_processed
+
+
+class TestTraceRoundTrip:
+    def test_tracer_and_events_unify_in_jsonl(self, tmp_path):
+        # A standalone CwndTracer (no obs mirroring) merges into the
+        # trace via extra_samples, exercising the unification path.
+        obs = Telemetry()
+        link = LinkConfig.from_mbps_ms(5, 20, 2)
+        net = DumbbellNetwork(link, [FlowSpec("cubic"), FlowSpec("bbr")],
+                              obs=obs)
+        tracer = CwndTracer(net, interval=0.1)
+        net.run(duration=10.0)
+
+        path = str(tmp_path / "run.jsonl")
+        written = write_trace(
+            path, obs, extra_samples=tracer_samples(tracer)
+        )
+        assert written > 0
+
+        trace = read_trace(path)
+        assert len(trace.samples) == len(tracer.samples)
+        assert trace.events_named("cc.state")
+        assert trace.counters["link.dropped_packets"] > 0
+        assert trace.flow_ids() == [0, 1]
+        # Samples are time-sorted on export.
+        times = [s["time"] for s in trace.samples]
+        assert times == sorted(times)
+
+    def test_event_payload_kind_key_survives(self, tmp_path):
+        # cc.backoff events carry a "kind" field, which must not collide
+        # with the record envelope's own "kind" discriminator.
+        obs = Telemetry()
+        obs.event("cc.backoff", time=1.0, kind="multiplicative_decrease",
+                  beta=0.7)
+        path = str(tmp_path / "t.jsonl")
+        write_trace(path, obs)
+        trace = read_trace(path)
+        (event,) = trace.events
+        assert event.fields["kind"] == "multiplicative_decrease"
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "nope"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_trace(str(path))
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_trace(str(path))
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        obs = Telemetry()
+        obs.count("sim.events", 42)
+        link = LinkConfig.from_mbps_ms(100, 40, 5)
+        manifest = RunManifest.build(
+            label="test",
+            link=link,
+            mix=[("cubic", 2), ("bbr", 1)],
+            backend="fluid",
+            duration=30.0,
+            seed=7,
+            obs=obs,
+            flows=[{"flow_id": 0, "cc": "cubic"}],
+        )
+        path = str(tmp_path / "run.manifest.json")
+        manifest.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded.mix == [("cubic", 2), ("bbr", 1)]
+        assert loaded.counters["sim.events"] == 42
+        assert loaded.seed == 7
+        assert loaded.cc_of_flow(0) == "cubic"
+        assert loaded.cc_of_flow(99) is None
+
+    def test_sibling_path_convention(self):
+        assert manifest_path_for("run.jsonl") == "run.manifest.json"
+        assert manifest_path_for("a/b/run.jsonl") == "a/b/run.manifest.json"
+        assert manifest_path_for("noext") == "noext.manifest.json"
+        assert (
+            manifest_path_for("dir.v1/trace") == "dir.v1/trace.manifest.json"
+        )
+
+
+class TestReport:
+    def test_phase_dwell_and_per_flow_table(self, tmp_path):
+        obs = Telemetry(sample_interval=0.1)
+        link = LinkConfig.from_mbps_ms(5, 20, 2)
+        result = run_dumbbell(
+            link, [FlowSpec("cubic"), FlowSpec("bbr")],
+            duration=15.0, obs=obs,
+        )
+        manifest = RunManifest.build(
+            label="report-test", link=link,
+            mix=[("cubic", 1), ("bbr", 1)], backend="packet",
+            duration=15.0, seed=0, obs=obs,
+            flows=[
+                {
+                    "flow_id": f.flow_id,
+                    "cc": f.cc,
+                    "throughput_mbps": f.throughput_mbps,
+                    "loss_rate": f.loss_rate,
+                    "retransmits": f.retransmits,
+                }
+                for f in result.flows
+            ],
+        )
+        path = str(tmp_path / "run.jsonl")
+        write_trace(path, obs, manifest=manifest)
+
+        report = load_report(path)
+        assert len(report.flows) == 2
+        bbr = next(f for f in report.flows if f.cc == "bbr")
+        assert bbr.dwell, "BBR flow should have phase dwell times"
+        assert sum(bbr.dwell.values()) == pytest.approx(15.0, rel=0.05)
+        rendered = report.render()
+        assert "report-test" in rendered
+        assert "phase dwell" in rendered
+        assert "STARTUP" in rendered
+
+    def test_sibling_manifest_overrides_embedded(self, tmp_path):
+        obs = Telemetry()
+        obs.event("cc.state", time=1.0, flow_id=0, cc="bbr",
+                  **{"from": "STARTUP", "to": "DRAIN"})
+        path = str(tmp_path / "run.jsonl")
+        write_trace(path, obs)
+        link = LinkConfig.from_mbps_ms(10, 10, 2)
+        RunManifest.build(
+            label="sibling", link=link, mix=[("bbr", 1)],
+            backend="packet", duration=5.0, seed=0,
+        ).write(manifest_path_for(path))
+        report = load_report(path)
+        assert report.trace.manifest is not None
+        assert report.trace.manifest.label == "sibling"
+        assert "sibling" in report.render()
