@@ -1,0 +1,144 @@
+"""Execution-engine performance: parallel speedup, warm-cache latency,
+and the figure-level determinism guard.
+
+The speedup trajectory is appended to ``BENCH_exec.json`` at the repo
+root — one record per run with the machine's core count and the
+measured sequential / parallel / warm-cache wall times — so the
+engine's scaling behavior is tracked across commits.  The >= 2x
+speedup assertion only fires on machines with at least 4 cores; on
+smaller runners the trajectory is still recorded but process-pool
+overhead makes a speedup target meaningless.
+"""
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.exec import Engine, ResultCache, ScenarioPoint
+from repro.experiments.figures import figure9
+from repro.obs import Telemetry
+from repro.util.config import LinkConfig
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+
+SWEEP_SIZE = 8
+
+
+def _sweep_points(duration=40.0):
+    """A figure-5-style sweep: distinct buffer depths, 4 flows each."""
+    return [
+        ScenarioPoint(
+            link=LinkConfig.from_mbps_ms(20, 20, 1 + i),
+            mix=(("cubic", 2), ("bbr", 2)),
+            duration=duration,
+        )
+        for i in range(SWEEP_SIZE)
+    ]
+
+
+def _append_record(entry):
+    records = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else []
+    )
+    records.append(entry)
+    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def test_perf_exec_sequential_sweep(benchmark):
+    results = benchmark(lambda: Engine(jobs=1).run_points(_sweep_points()))
+    assert len(results) == SWEEP_SIZE
+
+
+def test_perf_exec_parallel_sweep(benchmark):
+    jobs = min(4, os.cpu_count() or 1)
+    results = benchmark(
+        lambda: Engine(jobs=jobs).run_points(_sweep_points())
+    )
+    assert len(results) == SWEEP_SIZE
+
+
+def test_perf_exec_warm_cache(benchmark, tmp_path):
+    """Answering a whole sweep from cache must be near-instant."""
+    Engine(cache=ResultCache(tmp_path)).run_points(_sweep_points())
+
+    def warm():
+        engine = Engine(cache=ResultCache(tmp_path))
+        results = engine.run_points(_sweep_points())
+        assert engine.stats["simulated"] == 0
+        return results
+
+    assert len(benchmark(warm)) == SWEEP_SIZE
+
+
+def test_parallel_speedup_trajectory(tmp_path):
+    """Record sequential vs parallel vs warm wall time in BENCH_exec.json."""
+    points = _sweep_points()
+    cores = os.cpu_count() or 1
+    jobs = min(4, cores)
+
+    start = time.perf_counter()
+    sequential = Engine(jobs=1).run_points(points)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Engine(jobs=jobs).run_points(points)
+    parallel_s = time.perf_counter() - start
+    assert parallel == sequential  # Parallelism never changes numbers.
+
+    cache = ResultCache(tmp_path)
+    Engine(cache=cache).run_points(points)  # Prime.
+    start = time.perf_counter()
+    warm_engine = Engine(cache=ResultCache(tmp_path))
+    warm = warm_engine.run_points(points)
+    warm_s = time.perf_counter() - start
+    assert warm == sequential
+    assert warm_engine.stats["simulated"] == 0
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    _append_record(
+        {
+            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "machine": platform.machine(),
+            "cpu_count": cores,
+            "points": len(points),
+            "jobs": jobs,
+            "sequential_s": round(sequential_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(speedup, 3),
+            "warm_cache_s": round(warm_s, 4),
+        }
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with jobs={jobs} on {cores} cores, "
+            f"got {speedup:.2f}x ({sequential_s:.2f}s -> {parallel_s:.2f}s)"
+        )
+
+
+def test_fig9_parallel_and_warm_runs_are_identical(tmp_path):
+    """The acceptance determinism guard, at figure granularity.
+
+    One quick fig9 panel three ways: jobs=1 cold, jobs=4 cold, and a
+    warm rerun over the jobs=4 cache.  All three must produce the
+    identical FigureResult, and the warm rerun must invoke the
+    simulator zero times (checked through the obs counters).
+    """
+    kwargs = dict(capacity_mbps=50, rtt_ms=20, scale="quick")
+    cold_seq = figure9(
+        engine=Engine(jobs=1, cache=ResultCache(tmp_path / "seq")), **kwargs
+    )
+    par_cache = ResultCache(tmp_path / "par")
+    cold_par = figure9(engine=Engine(jobs=4, cache=par_cache), **kwargs)
+    assert cold_par == cold_seq
+
+    obs = Telemetry()
+    warm_engine = Engine(jobs=4, cache=ResultCache(tmp_path / "par"), obs=obs)
+    warm = figure9(engine=warm_engine, **kwargs)
+    assert warm == cold_seq
+    assert warm_engine.stats["simulated"] == 0
+    assert obs.counter("exec.points.simulated") == 0
+    assert obs.counter("exec.cache.hits") == obs.counter(
+        "exec.points.submitted"
+    )

@@ -14,11 +14,17 @@ Subcommands:
 ``simulate`` and ``figure`` accept ``--profile`` (print telemetry
 counters/timers after the run) and ``--trace-out PATH`` (write a run
 manifest plus a JSONL event/sample trace; see docs/OBSERVABILITY.md).
+They also accept the execution-engine flags (see docs/PERFORMANCE.md):
+``--jobs N`` fans independent scenario points out over N worker
+processes, ``--cache-dir [DIR]`` enables the content-addressed result
+cache (default location ``~/.cache/repro-bbr`` when DIR is omitted, or
+``$REPRO_CACHE_DIR``), and ``--no-cache`` forces it off.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from time import perf_counter
 from typing import List, Optional
@@ -77,6 +83,66 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         type=_positive_float,
         default=0.1,
         help="per-flow sampling period in seconds for --trace-out",
+    )
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run independent scenario points in up to N worker "
+        "processes (default 1: inline execution)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="enable the content-addressed result cache; omit DIR for "
+        "the default location (~/.cache/repro-bbr or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set",
+    )
+
+
+def _engine_from(args: argparse.Namespace, progress=None):
+    """Build the scenario-execution engine from --jobs/--cache-dir flags.
+
+    The cache is enabled by ``--cache-dir`` (bare flag = default root)
+    or the ``REPRO_CACHE_DIR`` environment variable, and force-disabled
+    by ``--no-cache``; by default nothing is persisted, matching the
+    historical behavior.
+    """
+    from repro.exec import Engine, ResultCache
+
+    cache = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache = ResultCache(args.cache_dir or None)
+        elif os.environ.get("REPRO_CACHE_DIR"):
+            cache = ResultCache(None)
+    return Engine(jobs=args.jobs, cache=cache, progress=progress)
+
+
+def _print_exec_summary(engine) -> None:
+    stats = engine.stats
+    print(
+        f"exec: {stats['submitted']} points, "
+        f"{stats['cache_hits']} cache hits, "
+        f"{stats['simulated']} simulated, jobs={engine.jobs}"
     )
 
 
@@ -157,16 +223,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"bad mix entry {item!r}; use name:count", file=sys.stderr)
             return 2
     obs = _obs_from(args)
+    engine = _engine_from(args)
     wall_start = perf_counter()
-    result = run_mix(
-        link,
-        mix,
-        duration=args.duration,
-        backend=args.backend,
-        trials=args.trials,
-        seed=args.seed,
-        obs=obs,
-    )
+    if engine.cache is None and engine.jobs == 1:
+        result = run_mix(
+            link,
+            mix,
+            duration=args.duration,
+            backend=args.backend,
+            trials=args.trials,
+            seed=args.seed,
+            obs=obs,
+        )
+    else:
+        from repro.obs import use
+
+        with use(obs):
+            result = engine.run_mix(
+                link,
+                mix,
+                duration=args.duration,
+                backend=args.backend,
+                trials=args.trials,
+                seed=args.seed,
+            )
     wall_time = perf_counter() - wall_start
     print(f"link: {link.describe()}  backend={args.backend}")
     for cc, count in mix:
@@ -184,6 +264,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(line)
     print(f"  queuing delay: {result.mean_queuing_delay * 1e3:.1f} ms")
     print(f"  drop rate: {result.drop_rate * 100:.2f}%")
+    if engine.cache is not None:
+        hit = engine.hits > 0
+        print(
+            f"  cache: {'hit' if hit else 'miss'} ({engine.cache.root})"
+        )
 
     if args.trace_out:
         try:
@@ -247,23 +332,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         )
         return 2
     obs = _obs_from(args)
-    if obs is None:
-        produced = FIGURES[key](scale=args.scale)
-    else:
-        # Figures drive run_mix internally without an obs parameter, so
-        # instrument them by installing the bus as the process default.
-        from repro.obs import use
 
-        with use(obs):
-            produced = FIGURES[key](scale=args.scale)
+    def progress(done: int, submitted: int, hits: int) -> None:
+        print(
+            f"\r  points {done}/{submitted} ({hits} cached)",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    engine = _engine_from(args, progress=progress)
+    from repro.exec import use as use_engine
+    from repro.obs import use as use_obs
+
+    # Figures drive run_mix internally without obs/engine parameters, so
+    # instrument them by installing both as the process defaults.
+    with use_obs(obs), use_engine(engine):
+        produced = FIGURES[key](scale=args.scale)
+    if engine.done:
+        print(file=sys.stderr)  # End the \r progress line.
     figures = produced if isinstance(produced, list) else [produced]
     for fig in figures:
         print(fig.render())
         print()
         if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
             path = f"{args.csv_dir}/{fig.figure_id}.csv"
             fig.to_csv(path)
             print(f"(wrote {path})")
+    if engine.done:
+        _print_exec_summary(engine)
     if args.trace_out:
         from repro.obs import write_trace
 
@@ -385,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     _add_obs_args(p)
+    _add_exec_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -399,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default=None, help="also write CSVs to this directory"
     )
     _add_obs_args(p)
+    _add_exec_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser(

@@ -1,0 +1,145 @@
+"""Content-addressed on-disk result cache.
+
+Results live as JSON files keyed by scenario fingerprint, sharded by the
+first two hex digits to keep directories small::
+
+    <root>/ab/abcdef....json
+
+Each file carries a schema version, the package version that produced
+it, its own fingerprint (so a file renamed or copied to the wrong key is
+rejected), and the payload.  Writes are atomic (temp file + ``os.replace``)
+so a killed run never leaves a half-written entry, and the canonical
+JSON encoding (sorted keys) makes re-writing the same result
+byte-identical.  Corrupt or mismatched files are treated as misses and
+logged — never raised.
+
+The default root is ``~/.cache/repro-bbr`` (or ``$XDG_CACHE_HOME/repro-bbr``),
+overridable with the ``REPRO_CACHE_DIR`` environment variable or an
+explicit ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.exec.fingerprint import CACHE_SCHEMA, REPRO_VERSION
+
+__all__ = ["ResultCache", "default_cache_root"]
+
+logger = logging.getLogger("repro.exec.cache")
+
+
+def default_cache_root() -> Path:
+    """The cache directory used when none is given explicitly."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-bbr"
+
+
+class ResultCache:
+    """A content-addressed store of scenario results.
+
+    Args:
+        root: Cache directory; ``None`` uses :func:`default_cache_root`.
+            Created lazily on first write.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for ``fingerprint`` lives (existing or not)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``fingerprint``, or None on any miss.
+
+        Missing files, unreadable files, malformed JSON, schema
+        mismatches, and fingerprint mismatches all return None; the
+        non-trivial failures are logged at WARNING so silent corruption
+        is still observable.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            logger.warning("cache read failed for %s: %s", path, exc)
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["schema"] != CACHE_SCHEMA:
+                logger.warning(
+                    "cache entry %s has schema %r (want %r); ignoring",
+                    path,
+                    entry["schema"],
+                    CACHE_SCHEMA,
+                )
+                return None
+            if entry["fingerprint"] != fingerprint:
+                logger.warning(
+                    "cache entry %s does not match its key; ignoring", path
+                )
+                return None
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError) as exc:
+            logger.warning("corrupt cache entry %s: %s", path, exc)
+            return None
+        if not isinstance(payload, dict):
+            logger.warning("corrupt cache entry %s: non-dict payload", path)
+            return None
+        return payload
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> Path:
+        """Atomically store ``payload`` under ``fingerprint``.
+
+        Returns the entry path.  The encoding is canonical (sorted keys),
+        so storing an identical payload twice produces byte-identical
+        files.
+        """
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "version": REPRO_VERSION,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        encoded = json.dumps(
+            entry, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def __len__(self) -> int:
+        """Number of entries on disk (walks the shard directories)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r})"

@@ -1,0 +1,363 @@
+"""Parallel scenario executor with content-addressed caching.
+
+:class:`Engine` is the one place independent scenario points are turned
+into results.  Sweeps declare their point lists (:class:`ScenarioPoint`)
+and submit them through :meth:`Engine.run_points`; the engine answers
+each point from the result cache when it can and fans the rest out over
+a ``ProcessPoolExecutor`` when ``jobs > 1``.  Cache lookups always
+happen in the parent process, so hits never pay worker startup; workers
+run with telemetry disabled and return picklable
+:class:`~repro.experiments.runner.ScenarioResult` objects.
+
+Defaults preserve the historical behavior exactly: ``jobs=1`` executes
+inline (telemetry threading included) and ``cache=None`` disables
+persistence.  Results are returned in submission order regardless of
+completion order, and a batch containing duplicate points simulates
+each distinct point once.
+
+A process-wide *default engine* mirrors the telemetry bus convention
+(:mod:`repro.obs.bus`): call chains that do not thread an engine
+explicitly (the figure generators, the NE throughput functions) pick up
+the installed default via :func:`resolve`, and fall back to a shared
+sequential, cache-less engine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import ScenarioPoint, fingerprint_payload
+from repro.util.config import LinkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: repro.experiments imports repro.exec
+    # (for the figure sweeps), so the reverse edge must stay deferred.
+    from repro.experiments.runner import ScenarioResult
+
+__all__ = [
+    "Engine",
+    "ProgressFn",
+    "get_default",
+    "set_default",
+    "use",
+    "resolve",
+]
+
+#: Progress callback: ``(points done, points submitted, cache hits)``,
+#: all cumulative over the engine's lifetime.
+ProgressFn = Callable[[int, int, int], None]
+
+
+def _execute_point(point: ScenarioPoint) -> Tuple["ScenarioResult", float]:
+    """Worker entry: run one scenario point, telemetry disabled.
+
+    Returns ``(result, wall_seconds)``; the wall time is measured inside
+    the worker so queueing delay is not attributed to the simulation.
+    """
+    from repro.obs import bus
+
+    # Fork-start workers inherit the parent's default telemetry bus;
+    # recording into that copy would be silently discarded, so run dark.
+    bus.set_default(None)
+    start = perf_counter()
+    result = _run_point(point, obs=None)
+    return result, perf_counter() - start
+
+
+def _run_point(point: ScenarioPoint, obs: Any) -> "ScenarioResult":
+    from repro.experiments.runner import run_mix
+
+    return run_mix(
+        point.link,
+        list(point.mix),
+        duration=point.duration,
+        warmup=point.warmup,
+        backend=point.backend,
+        trials=point.trials,
+        seed=point.seed,
+        rtts=point.rtts_dict(),
+        loss_mode=point.loss_mode,
+        obs=obs,
+    )
+
+
+class Engine:
+    """Executes scenario points with caching and optional parallelism.
+
+    Args:
+        jobs: Maximum worker processes for a batch; 1 (the default)
+            executes inline in the calling process.
+        cache: A :class:`ResultCache`, or None to disable persistence.
+        obs: Telemetry bus for the ``exec.*`` counters/timers; None
+            resolves the process default at each call, so an engine
+            created before ``obs.use(...)`` still records.
+        progress: Optional callback invoked after every resolved point
+            with ``(done, submitted, cache_hits)`` cumulative counts.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        obs: Any = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self._obs = obs
+        self.submitted = 0
+        self.done = 0
+        self.hits = 0
+        self.misses = 0
+        self.simulated = 0
+        self.cache_errors = 0
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _resolve_obs(self) -> Any:
+        from repro.obs.bus import resolve as resolve_obs
+
+        return resolve_obs(self._obs)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cumulative execution counters, independent of telemetry."""
+        return {
+            "submitted": self.submitted,
+            "done": self.done,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "simulated": self.simulated,
+            "cache_errors": self.cache_errors,
+        }
+
+    def _notify(self) -> None:
+        if self.progress is not None:
+            self.progress(self.done, self.submitted, self.hits)
+
+    def _cache_lookup(self, fingerprint: str, obs: Any) -> Optional[Dict]:
+        """Parent-side cache probe with hit/miss/corruption accounting."""
+        if self.cache is None:
+            return None
+        path = self.cache.path_for(fingerprint)
+        existed = path.exists()
+        payload = self.cache.get(fingerprint)
+        if payload is None and existed:
+            self.cache_errors += 1
+            if obs is not None:
+                obs.count("exec.cache.errors")
+        return payload
+
+    def _account(self, hit: bool, obs: Any) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.done += 1
+        if obs is not None:
+            obs.count("exec.cache.hits" if hit else "exec.cache.misses")
+
+    def _record_executed(
+        self, fingerprint: str, result: "ScenarioResult", elapsed: float, obs: Any
+    ) -> None:
+        self.simulated += 1
+        if obs is not None:
+            obs.count("exec.points.simulated")
+            obs.record_time("exec.point.wall", elapsed)
+        if self.cache is not None:
+            self.cache.put(fingerprint, result.to_dict())
+            if obs is not None:
+                obs.count("exec.cache.stores")
+
+    # -- execution ---------------------------------------------------------
+
+    def run_points(
+        self, points: Sequence[ScenarioPoint]
+    ) -> List["ScenarioResult"]:
+        """Resolve every point, in submission order.
+
+        Cache hits are answered immediately; remaining distinct points
+        run inline (``jobs == 1``) or across worker processes.  All
+        points of a batch are resolved before this returns.
+        """
+        points = list(points)
+        obs = self._resolve_obs()
+        self.submitted += len(points)
+        if obs is not None:
+            obs.count("exec.points.submitted", len(points))
+
+        from repro.experiments.runner import ScenarioResult
+
+        results: List[Optional["ScenarioResult"]] = [None] * len(points)
+        # fingerprint -> indices still waiting on it (duplicates share
+        # one execution).
+        pending: Dict[str, List[int]] = {}
+        pending_points: Dict[str, ScenarioPoint] = {}
+        for i, point in enumerate(points):
+            fingerprint = point.fingerprint()
+            if fingerprint in pending:
+                pending[fingerprint].append(i)
+                self._account(hit=False, obs=obs)
+                continue
+            payload = self._cache_lookup(fingerprint, obs)
+            if payload is not None:
+                results[i] = ScenarioResult.from_dict(payload)
+                self._account(hit=True, obs=obs)
+                self._notify()
+            else:
+                pending[fingerprint] = [i]
+                pending_points[fingerprint] = point
+                self._account(hit=False, obs=obs)
+
+        def finish(
+            fingerprint: str, result: "ScenarioResult", elapsed: float
+        ) -> None:
+            self._record_executed(fingerprint, result, elapsed, obs)
+            for idx in pending[fingerprint]:
+                results[idx] = result
+            self._notify()
+
+        if self.jobs > 1 and len(pending_points) > 1:
+            workers = min(self.jobs, len(pending_points))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_point, point): fingerprint
+                    for fingerprint, point in pending_points.items()
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    ready, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in ready:
+                        result, elapsed = future.result()
+                        finish(futures[future], result, elapsed)
+        else:
+            for fingerprint, point in pending_points.items():
+                start = perf_counter()
+                # Inline execution keeps the caller's telemetry wiring.
+                result = _run_point(point, obs=obs)
+                finish(fingerprint, result, perf_counter() - start)
+
+        return results  # type: ignore[return-value]  # all filled above
+
+    def run_mix(
+        self,
+        link: LinkConfig,
+        mix: Sequence[Tuple[str, int]],
+        duration: float = 60.0,
+        warmup: Optional[float] = None,
+        backend: str = "fluid",
+        trials: int = 1,
+        seed: int = 0,
+        rtts: Optional[Dict[str, float]] = None,
+        loss_mode: str = "proportional",
+    ) -> "ScenarioResult":
+        """Cached, engine-routed equivalent of :func:`repro.experiments.runner.run_mix`."""
+        point = ScenarioPoint(
+            link=link,
+            mix=tuple((cc, count) for cc, count in mix),
+            duration=duration,
+            warmup=warmup,
+            backend=backend,
+            trials=trials,
+            seed=seed,
+            rtts=tuple(rtts.items()) if rtts else None,
+            loss_mode=loss_mode,
+        )
+        return self.run_points([point])[0]
+
+    def cached_payload(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        compute: Callable[[], Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Memoize an arbitrary JSON-serializable task through the cache.
+
+        Used for scenario families that are not plain ``run_mix`` points
+        (e.g. the multi-RTT group-game payoffs), so they share the same
+        store, invalidation, and counters.
+        """
+        obs = self._resolve_obs()
+        fingerprint = fingerprint_payload(kind, params)
+        self.submitted += 1
+        if obs is not None:
+            obs.count("exec.points.submitted")
+        payload = self._cache_lookup(fingerprint, obs)
+        if payload is not None:
+            self._account(hit=True, obs=obs)
+            self._notify()
+            return payload
+        self._account(hit=False, obs=obs)
+        start = perf_counter()
+        payload = compute()
+        elapsed = perf_counter() - start
+        self.simulated += 1
+        if obs is not None:
+            obs.count("exec.points.simulated")
+            obs.record_time("exec.point.wall", elapsed)
+        if self.cache is not None:
+            self.cache.put(fingerprint, payload)
+            if obs is not None:
+                obs.count("exec.cache.stores")
+        self._notify()
+        return payload
+
+
+# -- default-engine plumbing (mirrors repro.obs.bus) -------------------------
+
+_default: Optional[Engine] = None
+_fallback: Optional[Engine] = None
+
+
+def get_default() -> Optional[Engine]:
+    """The installed default engine, or None when none is installed."""
+    return _default
+
+
+def set_default(engine: Optional[Engine]) -> None:
+    """Install ``engine`` as the process-wide default (None uninstalls)."""
+    global _default
+    _default = engine
+
+
+@contextmanager
+def use(engine: Optional[Engine]) -> Iterator[Optional[Engine]]:
+    """Temporarily install ``engine`` as the default."""
+    previous = get_default()
+    set_default(engine)
+    try:
+        yield engine
+    finally:
+        set_default(previous)
+
+
+def resolve(engine: Optional[Engine]) -> Engine:
+    """An explicit engine wins; else the default; else a shared
+    sequential, cache-less fallback (historical behavior)."""
+    if engine is not None:
+        return engine
+    if _default is not None:
+        return _default
+    global _fallback
+    if _fallback is None:
+        _fallback = Engine()
+    return _fallback

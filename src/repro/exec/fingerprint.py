@@ -1,0 +1,160 @@
+"""Canonical scenario fingerprints for the execution engine.
+
+A *fingerprint* is a stable content hash of everything that determines a
+scenario's numeric outcome: the link, the expanded flow mix, durations,
+backend, trials, seed, per-CCA RTT overrides, the fluid loss mode, the
+cache schema, and the package version.  Two :class:`ScenarioPoint`
+instances that would produce byte-identical simulator inputs hash to the
+same fingerprint even when they were *spelled* differently (mixed-case
+CCA names, zero-count mix entries, ``warmup=None`` vs. the resolved
+``duration / 6`` default, RTT dicts in different insertion orders).
+
+Fingerprints key the on-disk result cache (:mod:`repro.exec.cache`);
+bumping :data:`CACHE_SCHEMA` or the package version changes every
+fingerprint, so stale cache entries self-invalidate by simply never
+being looked up again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.util.config import LinkConfig
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ScenarioPoint",
+    "fingerprint_payload",
+    "link_params",
+]
+
+#: Cache payload schema version.  Bump whenever the fingerprinted inputs
+#: or the cached payload layout change incompatibly; old entries then
+#: miss (different fingerprint) instead of being misread.
+CACHE_SCHEMA = 1
+
+#: Package version folded into every fingerprint so results cached by an
+#: older simulator never masquerade as current ones.  Module-level (not
+#: inlined) so tests can exercise version-bump invalidation.
+REPRO_VERSION = __version__
+
+
+def link_params(link: LinkConfig) -> Dict[str, float]:
+    """The JSON-serializable identity of a bottleneck configuration."""
+    return {
+        "capacity": link.capacity,
+        "rtt": link.rtt,
+        "buffer_bdp": link.buffer_bdp,
+        "mss": link.mss,
+    }
+
+
+def fingerprint_payload(kind: str, params: Dict[str, Any]) -> str:
+    """Hash an arbitrary task descriptor into a cache fingerprint.
+
+    ``kind`` namespaces descriptor families (``"run_mix"``,
+    ``"group_payoff"``, ...) so two families can never collide even if
+    their parameter dicts coincide.  The hash covers a canonical JSON
+    encoding (sorted keys, no whitespace) plus the schema and package
+    versions.
+    """
+    envelope = {
+        "kind": kind,
+        "schema": CACHE_SCHEMA,
+        "version": REPRO_VERSION,
+        "params": params,
+    }
+    encoded = json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One independent ``run_mix`` invocation, in canonical form.
+
+    The constructor normalizes its inputs so that logically identical
+    points compare (and hash) equal: CCA names are lowercased, zero-count
+    mix entries dropped, ``warmup`` resolved to its ``duration / 6``
+    default, and RTT overrides sorted.  Mix *order* is preserved — flow
+    order determines per-flow seeding in the fluid substrate, so it is
+    part of the scenario's identity.
+    """
+
+    link: LinkConfig
+    mix: Tuple[Tuple[str, int], ...]
+    duration: float = 60.0
+    warmup: Optional[float] = None
+    backend: str = "fluid"
+    trials: int = 1
+    seed: int = 0
+    rtts: Optional[Tuple[Tuple[str, float], ...]] = None
+    loss_mode: str = "proportional"
+
+    def __post_init__(self) -> None:
+        from repro.experiments.runner import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend}"
+            )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration}"
+            )
+        mix = tuple(
+            (cc.lower(), int(count))
+            for cc, count in self.mix
+            if count > 0
+        )
+        if not mix:
+            raise ValueError("mix must contain at least one non-zero entry")
+        object.__setattr__(self, "mix", mix)
+        if self.warmup is None:
+            object.__setattr__(self, "warmup", self.duration / 6.0)
+        if self.rtts is not None:
+            items = (
+                self.rtts.items()
+                if isinstance(self.rtts, dict)
+                else self.rtts
+            )
+            object.__setattr__(
+                self,
+                "rtts",
+                tuple(sorted((cc.lower(), float(r)) for cc, r in items)),
+            )
+
+    def rtts_dict(self) -> Optional[Dict[str, float]]:
+        """RTT overrides in the mapping form ``run_mix`` consumes."""
+        return dict(self.rtts) if self.rtts is not None else None
+
+    def params(self) -> Dict[str, Any]:
+        """The task descriptor hashed by :meth:`fingerprint`."""
+        from repro.experiments.runner import expand_mix
+
+        return {
+            "link": link_params(self.link),
+            # The expanded per-flow (cc, rtt) list is exactly what the
+            # substrates consume, so it is the canonical mix identity.
+            "flows": [
+                [cc, rtt] for cc, rtt in expand_mix(self.mix, self.rtts_dict())
+            ],
+            "mix": [[cc, count] for cc, count in self.mix],
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "backend": self.backend,
+            "trials": self.trials,
+            "seed": self.seed,
+            "loss_mode": self.loss_mode,
+        }
+
+    def fingerprint(self) -> str:
+        """The content-address of this scenario's result."""
+        return fingerprint_payload("run_mix", self.params())

@@ -17,18 +17,19 @@ schematic and Table 1 a notation table — nothing to regenerate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.game import FlowGroup, GroupGame, bisect_nash
 from repro.core.multi_flow import predict_multi_flow
 from repro.core.nash import nash_region, predict_nash
 from repro.core.two_flow import predict_two_flow
 from repro.core.ware import ware_prediction
+from repro.exec import Engine, ScenarioPoint
+from repro.exec import resolve as resolve_engine
 from repro.experiments.results import FigureResult
 from repro.experiments.runner import (
     distribution_throughput_fn,
     group_payoff_fn,
-    run_mix,
 )
 from repro.util.config import LinkConfig
 
@@ -48,7 +49,9 @@ def _mbps(x: float) -> float:
 # -- Figure 1: the Ware et al. gap -------------------------------------------------
 
 
-def figure1(scale: str = "quick") -> FigureResult:
+def figure1(
+    scale: str = "quick", engine: Optional[Engine] = None
+) -> FigureResult:
     """Figure 1: Ware et al. prediction vs. BBR's actual share.
 
     1 CUBIC vs. 1 BBR at 50 Mbps / 40 ms; buffer swept up to 50 BDP.
@@ -68,19 +71,24 @@ def figure1(scale: str = "quick") -> FigureResult:
         xlabel="buffer (BDP)",
         ylabel="bandwidth (Mbps)",
     )
-    ware, actual = [], []
-    for depth in buffers:
-        link = LinkConfig.from_mbps_ms(50, 40, depth)
-        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
-        result = run_mix(
-            link,
-            [("cubic", 1), ("bbr", 1)],
-            duration=duration,
-            backend="packet",
-        )
-        actual.append(result.per_flow_mbps("bbr"))
+    links = [LinkConfig.from_mbps_ms(50, 40, depth) for depth in buffers]
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", 1), ("bbr", 1)),
+                duration=duration,
+                backend="packet",
+            )
+            for link in links
+        ]
+    )
+    ware = [
+        _mbps(ware_prediction(link, duration=duration).bbr_bandwidth)
+        for link in links
+    ]
     fig.add("ware", buffers, ware)
-    fig.add("actual", buffers, actual)
+    fig.add("actual", buffers, [r.per_flow_mbps("bbr") for r in results])
     return fig
 
 
@@ -91,6 +99,7 @@ def figure3(
     capacity_mbps: float = 50,
     rtt_ms: float = 40,
     scale: str = "quick",
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """One panel of Figure 3: model vs. Ware vs. actual across buffers."""
     full = _check_scale(scale)
@@ -109,28 +118,44 @@ def figure3(
         xlabel="buffer (BDP)",
         ylabel="BBR bandwidth (Mbps)",
     )
-    ware, model, actual = [], [], []
-    for depth in buffers:
-        link = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
-        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
-        model.append(_mbps(predict_two_flow(link).bbr_bandwidth))
-        result = run_mix(
-            link,
-            [("cubic", 1), ("bbr", 1)],
-            duration=duration,
-            backend="packet",
-        )
-        actual.append(result.per_flow_mbps("bbr"))
-    fig.add("ware", buffers, ware)
-    fig.add("model", buffers, model)
-    fig.add("actual", buffers, actual)
+    links = [
+        LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
+        for depth in buffers
+    ]
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", 1), ("bbr", 1)),
+                duration=duration,
+                backend="packet",
+            )
+            for link in links
+        ]
+    )
+    fig.add(
+        "ware",
+        buffers,
+        [
+            _mbps(ware_prediction(link, duration=duration).bbr_bandwidth)
+            for link in links
+        ],
+    )
+    fig.add(
+        "model",
+        buffers,
+        [_mbps(predict_two_flow(link).bbr_bandwidth) for link in links],
+    )
+    fig.add("actual", buffers, [r.per_flow_mbps("bbr") for r in results])
     return fig
 
 
-def figure3_all(scale: str = "quick") -> List[FigureResult]:
+def figure3_all(
+    scale: str = "quick", engine: Optional[Engine] = None
+) -> List[FigureResult]:
     """All four panels of Figure 3 ({50,100} Mbps × {40,80} ms)."""
     return [
-        figure3(capacity, rtt, scale)
+        figure3(capacity, rtt, scale, engine=engine)
         for capacity in (50, 100)
         for rtt in (40, 80)
     ]
@@ -140,7 +165,10 @@ def figure3_all(scale: str = "quick") -> List[FigureResult]:
 
 
 def figure4(
-    n_per_class: int = 5, scale: str = "quick", seed: int = 0
+    n_per_class: int = 5,
+    scale: str = "quick",
+    seed: int = 0,
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """One panel of Figure 4: N CUBIC vs N BBR, 100 Mbps / 40 ms.
 
@@ -163,9 +191,22 @@ def figure4(
         xlabel="buffer (BDP)",
         ylabel="per-flow bandwidth (Mbps)",
     )
-    sync, desync, ware, actual = [], [], [], []
-    for depth in buffers:
-        link = LinkConfig.from_mbps_ms(100, 40, depth)
+    links = [LinkConfig.from_mbps_ms(100, 40, depth) for depth in buffers]
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", n_per_class), ("bbr", n_per_class)),
+                duration=duration,
+                backend="fluid",
+                trials=trials,
+                seed=seed,
+            )
+            for link in links
+        ]
+    )
+    sync, desync, ware = [], [], []
+    for link in links:
         pred = predict_multi_flow(link, n_per_class, n_per_class)
         sync.append(_mbps(pred.per_flow_bbr_sync))
         desync.append(_mbps(pred.per_flow_bbr_desync))
@@ -177,19 +218,10 @@ def figure4(
             )
             / n_per_class
         )
-        result = run_mix(
-            link,
-            [("cubic", n_per_class), ("bbr", n_per_class)],
-            duration=duration,
-            backend="fluid",
-            trials=trials,
-            seed=seed,
-        )
-        actual.append(result.per_flow_mbps("bbr"))
     fig.add("sync-bound", buffers, sync)
     fig.add("desync-bound", buffers, desync)
     fig.add("ware", buffers, ware)
-    fig.add("actual", buffers, actual)
+    fig.add("actual", buffers, [r.per_flow_mbps("bbr") for r in results])
     return fig
 
 
@@ -201,6 +233,7 @@ def figure5(
     buffer_bdp: float = 3,
     scale: str = "quick",
     seed: int = 0,
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """One panel of Figure 5: BBR per-flow bandwidth vs. #BBR flows."""
     full = _check_scale(scale)
@@ -220,24 +253,28 @@ def figure5(
         xlabel="# BBR flows",
         ylabel="per-flow bandwidth (Mbps)",
     )
-    sync, desync, actual = [], [], []
     fair = _mbps(link.capacity) / n_flows
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", n_flows - n_bbr), ("bbr", n_bbr)),
+                duration=duration,
+                backend="fluid",
+                trials=trials,
+                seed=seed,
+            )
+            for n_bbr in counts
+        ]
+    )
+    sync, desync = [], []
     for n_bbr in counts:
         pred = predict_multi_flow(link, n_flows - n_bbr, n_bbr)
         sync.append(_mbps(pred.per_flow_bbr_sync))
         desync.append(_mbps(pred.per_flow_bbr_desync))
-        result = run_mix(
-            link,
-            [("cubic", n_flows - n_bbr), ("bbr", n_bbr)],
-            duration=duration,
-            backend="fluid",
-            trials=trials,
-            seed=seed,
-        )
-        actual.append(result.per_flow_mbps("bbr"))
     fig.add("sync-bound", counts, sync)
     fig.add("desync-bound", counts, desync)
-    fig.add("actual", counts, actual)
+    fig.add("actual", counts, [r.per_flow_mbps("bbr") for r in results])
     fig.add("fair-share", counts, [fair] * len(counts))
     return fig
 
@@ -287,6 +324,7 @@ def figure7(
     scale: str = "quick",
     seed: int = 0,
     algorithms: Sequence[str] = ("bbr", "bbr2", "copa", "vivace"),
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """Figure 7: per-flow throughput of X vs. #X flows, X ∈ {BBR, BBRv2,
     Copa, PCC Vivace}, 10 flows at 100 Mbps with a 2 BDP buffer."""
@@ -303,19 +341,27 @@ def figure7(
         ylabel="per-flow bandwidth (Mbps)",
     )
     counts = list(range(1, n_flows + 1))
-    for algo in algorithms:
-        values = []
-        for k in counts:
-            result = run_mix(
-                link,
-                [("cubic", n_flows - k), (algo, k)],
+    # One flat point grid over (algorithm × count); the engine fans the
+    # whole grid out at once instead of one algorithm at a time.
+    grid = [(algo, k) for algo in algorithms for k in counts]
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", n_flows - k), (algo, k)),
                 duration=duration,
                 backend="fluid",
                 trials=trials,
                 seed=seed,
             )
-            values.append(result.per_flow_mbps(algo))
-        fig.add(algo, counts, values)
+            for algo, k in grid
+        ]
+    )
+    by_algo: Dict[str, List[float]] = {algo: [] for algo in algorithms}
+    for (algo, _k), result in zip(grid, results):
+        by_algo[algo].append(result.per_flow_mbps(algo))
+    for algo in algorithms:
+        fig.add(algo, counts, by_algo[algo])
     fig.add("fair-share", counts, [fair] * len(counts))
     return fig
 
@@ -324,7 +370,7 @@ def figure7(
 
 
 def figure8(
-    scale: str = "quick", seed: int = 0
+    scale: str = "quick", seed: int = 0, engine: Optional[Engine] = None
 ) -> Tuple[FigureResult, FigureResult]:
     """Figure 8: (a) CUBIC/BBR per-flow throughput and (b) shared queuing
     delay, as the number of BBR flows grows (10 flows, 2 BDP, 40 ms)."""
@@ -334,16 +380,21 @@ def figure8(
     trials = 3 if full else 1
     link = LinkConfig.from_mbps_ms(100, 40, 2)
     counts = list(range(0, n_flows + 1))
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", n_flows - k), ("bbr", k)),
+                duration=duration,
+                backend="fluid",
+                trials=trials,
+                seed=seed,
+            )
+            for k in counts
+        ]
+    )
     cubic, bbr, delay = [], [], []
-    for k in counts:
-        result = run_mix(
-            link,
-            [("cubic", n_flows - k), ("bbr", k)],
-            duration=duration,
-            backend="fluid",
-            trials=trials,
-            seed=seed,
-        )
+    for k, result in zip(counts, results):
         cubic.append(result.per_flow_mbps("cubic") if k < n_flows else 0.0)
         bbr.append(result.per_flow_mbps("bbr") if k > 0 else 0.0)
         delay.append(result.mean_queuing_delay * 1e3)
@@ -374,6 +425,7 @@ def figure9(
     scale: str = "quick",
     seed: int = 0,
     challenger: str = "bbr",
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """One panel of Figure 9: predicted Nash Region vs. empirical NE.
 
@@ -417,6 +469,7 @@ def figure9(
                 duration=duration,
                 backend="fluid",
                 seed=seed + 7919 * trial,
+                engine=engine,
             )
             equilibria, _cache = bisect_nash(n_flows, fn)
             for k in equilibria:
@@ -426,10 +479,12 @@ def figure9(
     return fig
 
 
-def figure9_all(scale: str = "quick", seed: int = 0) -> List[FigureResult]:
+def figure9_all(
+    scale: str = "quick", seed: int = 0, engine: Optional[Engine] = None
+) -> List[FigureResult]:
     """All six panels of Figure 9 ({50,100} Mbps × {20,40,80} ms)."""
     return [
-        figure9(capacity, rtt, scale, seed)
+        figure9(capacity, rtt, scale, seed, engine=engine)
         for capacity in (50, 100)
         for rtt in (20, 40, 80)
     ]
@@ -438,7 +493,9 @@ def figure9_all(scale: str = "quick", seed: int = 0) -> List[FigureResult]:
 # -- Figure 10: multi-RTT NE ---------------------------------------------------------------------
 
 
-def figure10(scale: str = "quick", seed: int = 0) -> FigureResult:
+def figure10(
+    scale: str = "quick", seed: int = 0, engine: Optional[Engine] = None
+) -> FigureResult:
     """Figure 10: NE for three RTT groups (10/30/50 ms) sharing 100 Mbps.
 
     Reports the total CUBIC count at the NE per buffer depth and how it
@@ -468,7 +525,7 @@ def figure10(scale: str = "quick", seed: int = 0) -> FigureResult:
     for depth in buffers:
         link = base.with_buffer_bdp(depth)
         payoff = group_payoff_fn(
-            link, rtts, sizes, duration=duration, seed=seed
+            link, rtts, sizes, duration=duration, seed=seed, engine=engine
         )
         game = GroupGame(
             groups=[FlowGroup(rtt=r, size=s) for r, s in zip(rtts, sizes)],
@@ -503,7 +560,10 @@ def figure10(scale: str = "quick", seed: int = 0) -> FigureResult:
 
 
 def figure11(
-    capacity_mbps: float = 50, scale: str = "quick", seed: int = 0
+    capacity_mbps: float = 50,
+    scale: str = "quick",
+    seed: int = 0,
+    engine: Optional[Engine] = None,
 ) -> FigureResult:
     """One panel of Figure 11: CUBIC-vs-BBRv2 NE against the BBR-predicted
     region (the paper finds more CUBIC flows at the NE than with BBR)."""
@@ -542,6 +602,7 @@ def figure11(
                 duration=duration,
                 backend="fluid",
                 seed=seed,
+                engine=engine,
             )
             equilibria, _cache = bisect_nash(n_flows, fn)
             for k in equilibria:
@@ -554,7 +615,9 @@ def figure11(
 # -- Figure 12: ultra-deep buffers ---------------------------------------------------------------------
 
 
-def figure12(scale: str = "quick") -> FigureResult:
+def figure12(
+    scale: str = "quick", engine: Optional[Engine] = None
+) -> FigureResult:
     """Figure 12: model over-estimation in ultra-deep buffers.
 
     1 CUBIC vs 1 BBR swept to 250 BDP.  Quick mode shrinks the link
@@ -578,21 +641,35 @@ def figure12(scale: str = "quick") -> FigureResult:
         xlabel="buffer (BDP)",
         ylabel="BBR bandwidth (Mbps)",
     )
-    ware, model, actual = [], [], []
-    for depth in buffers:
-        link = LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
-        ware.append(_mbps(ware_prediction(link, duration=duration).bbr_bandwidth))
-        model.append(_mbps(predict_two_flow(link).bbr_bandwidth))
-        result = run_mix(
-            link,
-            [("cubic", 1), ("bbr", 1)],
-            duration=duration,
-            backend="packet",
-        )
-        actual.append(result.per_flow_mbps("bbr"))
-    fig.add("ware", buffers, ware)
-    fig.add("model", buffers, model)
-    fig.add("actual", buffers, actual)
+    links = [
+        LinkConfig.from_mbps_ms(capacity_mbps, rtt_ms, depth)
+        for depth in buffers
+    ]
+    results = resolve_engine(engine).run_points(
+        [
+            ScenarioPoint(
+                link=link,
+                mix=(("cubic", 1), ("bbr", 1)),
+                duration=duration,
+                backend="packet",
+            )
+            for link in links
+        ]
+    )
+    fig.add(
+        "ware",
+        buffers,
+        [
+            _mbps(ware_prediction(link, duration=duration).bbr_bandwidth)
+            for link in links
+        ],
+    )
+    fig.add(
+        "model",
+        buffers,
+        [_mbps(predict_two_flow(link).bbr_bandwidth) for link in links],
+    )
+    fig.add("actual", buffers, [r.per_flow_mbps("bbr") for r in results])
     return fig
 
 

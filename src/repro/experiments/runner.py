@@ -11,18 +11,53 @@ multi-trial averaging and seeded per-trial jitter, mirroring the paper's
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.fluidsim.core import FluidSpec, run_fluid
 from repro.sim.network import FlowSpec, run_dumbbell
 from repro.util.config import LinkConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.engine import Engine
     from repro.obs.bus import Telemetry
 
 BACKENDS = ("packet", "fluid")
+
+
+def expand_mix(
+    mix: Sequence[Tuple[str, int]],
+    rtts: Optional[Dict[str, float]] = None,
+) -> List[Tuple[str, Optional[float]]]:
+    """Expand a ``(cc, count)`` mix into per-flow ``(cc, rtt)`` pairs.
+
+    The single expansion both simulator backends (and the execution
+    engine's scenario fingerprints) agree on: CCA names lowercased,
+    order preserved, ``rtts`` overrides applied per class (None = use
+    the link's base RTT).
+    """
+    expanded: List[Tuple[str, Optional[float]]] = []
+    for cc, count in mix:
+        key = cc.lower()
+        rtt = rtts.get(key) if rtts is not None else None
+        expanded.extend((key, rtt) for _ in range(count))
+    return expanded
+
+
+def spaced_seed(seed: int, k: int) -> int:
+    """A collision-free per-point base seed for distribution sweeps.
+
+    Trial ``t`` of point ``k`` runs with ``spaced_seed(seed, k) + t``.
+    The old ``seed + 1000 * k`` spacing collided with the per-trial
+    offsets whenever ``trials > 1000`` (or when adjacent ``k`` grids
+    were combined), silently reusing jitter between points.  Hashing
+    into a 2**56 space keeps any realistic trial count disjoint while
+    remaining deterministic in ``(seed, k)``.
+    """
+    digest = hashlib.sha256(f"{seed}:{k}".encode("ascii")).digest()
+    return int.from_bytes(digest[:7], "big")
 
 
 @dataclass(frozen=True)
@@ -50,6 +85,29 @@ class ScenarioResult:
     def per_flow_mbps(self, cc: str) -> float:
         """Per-flow mean throughput of class ``cc`` in Mbps."""
         return self.per_flow.get(cc, 0.0) * 8.0 / 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form (the result-cache payload)."""
+        return {
+            "per_flow": dict(self.per_flow),
+            "aggregate": dict(self.aggregate),
+            "mean_queuing_delay": self.mean_queuing_delay,
+            "loss_rate": dict(self.loss_rate),
+            "retransmits": dict(self.retransmits),
+            "drop_rate": self.drop_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (exact floats)."""
+        return cls(
+            per_flow=dict(data["per_flow"]),
+            aggregate=dict(data["aggregate"]),
+            mean_queuing_delay=data["mean_queuing_delay"],
+            loss_rate=dict(data.get("loss_rate", {})),
+            retransmits=dict(data.get("retransmits", {})),
+            drop_rate=data.get("drop_rate", 0.0),
+        )
 
 
 def run_mix(
@@ -151,25 +209,13 @@ def _run_once(
     loss_mode: str,
     obs: Optional["Telemetry"] = None,
 ):
-    def rtt_for(cc: str) -> Optional[float]:
-        if rtts is None:
-            return None
-        return rtts.get(cc.lower())
-
+    flows = expand_mix(mix, rtts)
     if backend == "packet":
-        specs = [
-            FlowSpec(cc=cc, rtt=rtt_for(cc))
-            for cc, count in mix
-            for _ in range(count)
-        ]
+        specs = [FlowSpec(cc=cc, rtt=rtt) for cc, rtt in flows]
         return run_dumbbell(
             link, specs, duration=duration, warmup=warmup, obs=obs
         )
-    fluid_specs = [
-        FluidSpec(cc=cc, rtt=rtt_for(cc))
-        for cc, count in mix
-        for _ in range(count)
-    ]
+    fluid_specs = [FluidSpec(cc=cc, rtt=rtt) for cc, rtt in flows]
     return run_fluid(
         link,
         fluid_specs,
@@ -191,25 +237,31 @@ def distribution_throughput_fn(
     backend: str = "fluid",
     trials: int = 1,
     seed: int = 0,
+    engine: Optional["Engine"] = None,
 ):
     """Build a §4.4-style throughput function over distributions.
 
     Returns ``fn(k) -> (per-flow incumbent λ, per-flow challenger λ)`` for
     ``k`` challenger flows out of ``n_flows`` — the shape
     :class:`repro.core.game.ThroughputTable` and
-    :func:`repro.core.game.bisect_nash` consume.
+    :func:`repro.core.game.bisect_nash` consume.  Evaluations route
+    through the execution engine (explicit, installed default, or the
+    sequential fallback), so identical distribution points are reused
+    across sweeps when a result cache is configured.
     """
 
     def fn(k: int) -> Tuple[float, float]:
         if not 0 <= k <= n_flows:
             raise ValueError(f"k must be in [0, {n_flows}], got {k}")
-        result = run_mix(
+        from repro.exec.engine import resolve as resolve_engine
+
+        result = resolve_engine(engine).run_mix(
             link,
             [(incumbent, n_flows - k), (challenger, k)],
             duration=duration,
             backend=backend,
             trials=trials,
-            seed=seed + 1000 * k,
+            seed=spaced_seed(seed, k),
         )
         return (
             result.per_flow.get(incumbent, 0.0),
@@ -229,6 +281,7 @@ def distribution_utility_fn(
     backend: str = "fluid",
     trials: int = 1,
     seed: int = 0,
+    engine: Optional["Engine"] = None,
 ):
     """A §4.3-style utility game: ``U = throughput − w·delay``.
 
@@ -251,13 +304,15 @@ def distribution_utility_fn(
     def fn(k: int) -> Tuple[float, float]:
         if not 0 <= k <= n_flows:
             raise ValueError(f"k must be in [0, {n_flows}], got {k}")
-        result = run_mix(
+        from repro.exec.engine import resolve as resolve_engine
+
+        result = resolve_engine(engine).run_mix(
             link,
             [(incumbent, n_flows - k), (challenger, k)],
             duration=duration,
             backend=backend,
             trials=trials,
-            seed=seed + 1000 * k,
+            seed=spaced_seed(seed, k),
         )
         penalty = weight * result.mean_queuing_delay
         u_incumbent = result.per_flow.get(incumbent, 0.0) - penalty
@@ -276,26 +331,26 @@ def group_payoff_fn(
     duration: float = 60.0,
     trials: int = 1,
     seed: int = 0,
+    engine: Optional["Engine"] = None,
 ):
     """Payoff function for the multi-RTT :class:`repro.core.game.GroupGame`.
 
     The returned callable maps a tuple of per-group challenger counts to
     per-group ``(incumbent per-flow λ, challenger per-flow λ)`` pairs,
     measured with the fluid backend (per-flow RTTs differ, so the packet
-    backend also works but is far slower).
+    backend also works but is far slower).  Evaluations are memoized in
+    the execution engine's result cache (when one is configured) under a
+    ``group_payoff`` descriptor, so best-response walks that revisit a
+    state — and repeated figure sweeps — reuse the measurement.
     """
     if len(group_rtts) != len(group_sizes):
         raise ValueError("group_rtts and group_sizes must align")
 
-    def payoff(state: Sequence[int]):
+    def measure(state: Sequence[int]) -> List[Tuple[float, float]]:
         specs = []
         membership = []  # (group, is_challenger)
         for g, (rtt, size) in enumerate(zip(group_rtts, group_sizes)):
             k = state[g]
-            if not 0 <= k <= size:
-                raise ValueError(
-                    f"group {g}: count {k} outside [0, {size}]"
-                )
             for i in range(size):
                 cc = challenger if i < k else incumbent
                 specs.append(FluidSpec(cc=cc, rtt=rtt))
@@ -325,5 +380,32 @@ def group_payoff_fn(
                 (mean(inc) if inc else 0.0, mean(cha) if cha else 0.0)
             )
         return payoffs
+
+    def payoff(state: Sequence[int]):
+        for g, size in enumerate(group_sizes):
+            if not 0 <= state[g] <= size:
+                raise ValueError(
+                    f"group {g}: count {state[g]} outside [0, {size}]"
+                )
+        from repro.exec.engine import resolve as resolve_engine
+        from repro.exec.fingerprint import link_params
+
+        params = {
+            "link": link_params(link),
+            "rtts": [float(r) for r in group_rtts],
+            "sizes": [int(s) for s in group_sizes],
+            "state": [int(k) for k in state],
+            "challenger": challenger.lower(),
+            "incumbent": incumbent.lower(),
+            "duration": duration,
+            "trials": trials,
+            "seed": seed,
+        }
+        payload = resolve_engine(engine).cached_payload(
+            "group_payoff",
+            params,
+            lambda: {"payoffs": [list(p) for p in measure(state)]},
+        )
+        return [(p[0], p[1]) for p in payload["payoffs"]]
 
     return payoff

@@ -225,3 +225,89 @@ def test_report_malformed_trace(tmp_path, capsys):
     bad.write_text("not json\n")
     assert main(["report", str(bad)]) == 2
     assert "malformed trace" in capsys.readouterr().err
+
+
+def test_simulate_cache_dir_miss_then_hit(tmp_path, capsys):
+    argv = [
+        "simulate",
+        "cubic:1",
+        "bbr:1",
+        "--mbps",
+        "20",
+        "--duration",
+        "10",
+        "--cache-dir",
+        str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache: miss" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache: hit" in warm
+    # The simulated throughput lines are identical on the warm run.
+    sim = [l for l in cold.splitlines() if "Mbps/flow" in l]
+    assert sim and sim == [l for l in warm.splitlines() if "Mbps/flow" in l]
+
+
+def test_simulate_no_cache_overrides_cache_dir(tmp_path, capsys):
+    argv = [
+        "simulate",
+        "cubic:1",
+        "bbr:1",
+        "--duration",
+        "10",
+        "--cache-dir",
+        str(tmp_path),
+        "--no-cache",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache:" not in out
+    assert not any(tmp_path.glob("??/*.json"))
+
+
+def test_simulate_jobs_rejects_non_positive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "cubic:1", "--jobs", "0"])
+
+
+def test_figure_exec_summary_and_cache(tmp_path, capsys):
+    (tmp_path / "csv").mkdir()
+    argv = [
+        "figure",
+        "6",
+        "--scale",
+        "quick",
+        "--cache-dir",
+        str(tmp_path),
+        "--csv-dir",
+        str(tmp_path / "csv"),
+    ]
+    # fig6 is model-only (no scenario points): no exec summary expected.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "exec:" not in out
+
+
+def test_figure_cached_rerun_reuses_points(tmp_path, capsys):
+    argv = [
+        "figure",
+        "8",
+        "--scale",
+        "quick",
+        "--jobs",
+        "2",
+        "--cache-dir",
+        str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "exec:" in cold and "jobs=2" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    cold_line = next(l for l in cold.splitlines() if l.startswith("exec:"))
+    warm_line = next(l for l in warm.splitlines() if l.startswith("exec:"))
+    points = int(cold_line.split()[1])
+    hits = int(warm_line.split(",")[1].split()[0])
+    assert hits == points  # Warm rerun answered fully from cache.

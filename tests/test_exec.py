@@ -1,0 +1,345 @@
+"""Execution engine: fingerprints, result cache, parallel determinism."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core.game import bisect_nash
+from repro.exec import (
+    CACHE_SCHEMA,
+    Engine,
+    ResultCache,
+    ScenarioPoint,
+    default_cache_root,
+    fingerprint_payload,
+)
+from repro.exec import engine as engine_mod
+from repro.exec import fingerprint as fingerprint_mod
+from repro.experiments.runner import (
+    ScenarioResult,
+    distribution_throughput_fn,
+    group_payoff_fn,
+    run_mix,
+)
+from repro.obs import Telemetry
+from repro.util.config import LinkConfig
+
+
+def link(bdp=3, mbps=20, rtt=20):
+    return LinkConfig.from_mbps_ms(mbps, rtt, bdp)
+
+
+def points(n=3, duration=8.0, **kwargs):
+    return [
+        ScenarioPoint(
+            link=link(bdp=1 + i),
+            mix=(("cubic", 2), ("bbr", 2)),
+            duration=duration,
+            **kwargs,
+        )
+        for i in range(n)
+    ]
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_across_instances():
+    a = ScenarioPoint(link=link(), mix=(("cubic", 2), ("bbr", 2)))
+    b = ScenarioPoint(link=link(), mix=(("cubic", 2), ("bbr", 2)))
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_canonicalizes_spelling():
+    base = ScenarioPoint(
+        link=link(), mix=(("cubic", 1), ("bbr", 1)), duration=30.0
+    )
+    spelled = ScenarioPoint(
+        link=link(),
+        mix=(("CUBIC", 1), ("reno", 0), ("BBR", 1)),
+        duration=30.0,
+        warmup=5.0,  # == duration / 6, the resolved default
+        rtts=None,
+    )
+    assert spelled == base
+    assert spelled.fingerprint() == base.fingerprint()
+
+
+def test_fingerprint_rtts_order_insensitive():
+    a = ScenarioPoint(
+        link=link(),
+        mix=(("cubic", 1), ("bbr", 1)),
+        rtts=(("cubic", 0.01), ("bbr", 0.05)),
+    )
+    b = ScenarioPoint(
+        link=link(),
+        mix=(("cubic", 1), ("bbr", 1)),
+        rtts=(("bbr", 0.05), ("cubic", 0.01)),
+    )
+    assert a.fingerprint() == b.fingerprint()
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"seed": 1},
+        {"trials": 2},
+        {"duration": 31.0},
+        {"warmup": 2.5},
+        {"backend": "packet"},
+        {"loss_mode": "sync"},
+        {"mix": (("cubic", 1), ("bbr", 1))},
+        {"mix": (("bbr", 1), ("cubic", 2))},  # Order is identity.
+        {"link": link(bdp=5)},
+        {"rtts": (("bbr", 0.08),)},
+    ],
+)
+def test_fingerprint_changes_with_inputs(change):
+    base = dict(
+        link=link(), mix=(("cubic", 2), ("bbr", 1)), duration=30.0
+    )
+    a = ScenarioPoint(**base)
+    b = ScenarioPoint(**{**base, **change})
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_fingerprint_changes_with_package_version(monkeypatch):
+    point = ScenarioPoint(link=link(), mix=(("cubic", 1),))
+    before = point.fingerprint()
+    monkeypatch.setattr(fingerprint_mod, "REPRO_VERSION", "999.0.0")
+    assert point.fingerprint() != before
+
+
+def test_fingerprint_payload_namespaced_by_kind():
+    params = {"x": 1}
+    assert fingerprint_payload("a", params) != fingerprint_payload(
+        "b", params
+    )
+
+
+def test_scenario_point_validation():
+    with pytest.raises(ValueError):
+        ScenarioPoint(link=link(), mix=(("cubic", 0),))
+    with pytest.raises(ValueError):
+        ScenarioPoint(link=link(), mix=(("cubic", 1),), backend="ns3")
+    with pytest.raises(ValueError):
+        ScenarioPoint(link=link(), mix=(("cubic", 1),), trials=0)
+    with pytest.raises(ValueError):
+        ScenarioPoint(link=link(), mix=(("cubic", 1),), duration=0)
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_byte_identical_writes(tmp_path):
+    cache = ResultCache(tmp_path)
+    payload = {"per_flow": {"bbr": 1.25e6}, "drop_rate": 0.0}
+    fp = "ab" + "0" * 62
+    path = cache.put(fp, payload)
+    first = path.read_bytes()
+    assert cache.get(fp) == payload
+    cache.put(fp, payload)
+    assert path.read_bytes() == first  # Canonical encoding.
+    assert fp in cache
+    assert len(cache) == 1
+
+
+def test_cache_miss_on_absent_entry(tmp_path):
+    assert ResultCache(tmp_path).get("cd" + "1" * 62) is None
+
+
+def test_cache_corrupt_entry_is_logged_miss(tmp_path, caplog):
+    cache = ResultCache(tmp_path)
+    fp = "ef" + "2" * 62
+    path = cache.path_for(fp)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+        assert cache.get(fp) is None
+    assert "corrupt" in caplog.text
+
+
+def test_cache_rejects_schema_and_key_mismatch(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = "0a" + "3" * 62
+    cache.put(fp, {"x": 1})
+    entry = json.loads(cache.path_for(fp).read_text())
+    entry["schema"] = CACHE_SCHEMA + 1
+    cache.path_for(fp).write_text(json.dumps(entry))
+    assert cache.get(fp) is None  # Stale schema self-invalidates.
+
+    other = "0a" + "4" * 62
+    cache.put(other, {"x": 2})
+    moved = cache.path_for(fp)
+    moved.write_text(cache.path_for(other).read_text())
+    assert cache.get(fp) is None  # Renamed entry rejected.
+
+
+def test_default_cache_root_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_root() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_root() == tmp_path / "xdg" / "repro-bbr"
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def test_cached_rerun_equals_uncached_run(tmp_path):
+    pts = points(2)
+    uncached = Engine().run_points(pts)
+    cold = Engine(cache=ResultCache(tmp_path)).run_points(pts)
+    warm_engine = Engine(cache=ResultCache(tmp_path))
+    warm = warm_engine.run_points(pts)
+    assert cold == uncached
+    assert warm == uncached
+    assert warm_engine.stats["simulated"] == 0
+    assert warm_engine.stats["cache_hits"] == len(pts)
+
+
+def test_cached_payload_is_byte_identical_for_same_fingerprint(tmp_path):
+    pts = points(1)
+    fp = pts[0].fingerprint()
+    cache_a, cache_b = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+    Engine(cache=cache_a).run_points(pts)
+    Engine(cache=cache_b).run_points(pts)
+    assert (
+        cache_a.path_for(fp).read_bytes() == cache_b.path_for(fp).read_bytes()
+    )
+
+
+def test_parallel_jobs_match_sequential_exactly(tmp_path):
+    pts = points(4)
+    sequential = Engine(jobs=1).run_points(pts)
+    parallel = Engine(jobs=4).run_points(pts)
+    assert parallel == sequential
+    warm = Engine(jobs=4, cache=ResultCache(tmp_path))
+    warm.run_points(pts)
+    assert warm.run_points(pts) == sequential
+
+
+def test_engine_results_keep_submission_order():
+    pts = points(3)
+    results = Engine(jobs=3).run_points(list(reversed(pts)))
+    forward = Engine(jobs=1).run_points(pts)
+    assert results == list(reversed(forward))
+
+
+def test_duplicate_points_simulated_once():
+    pts = points(1) * 3
+    engine = Engine(jobs=2)
+    results = engine.run_points(pts)
+    assert engine.stats["simulated"] == 1
+    assert results[0] == results[1] == results[2]
+
+
+def test_corrupt_cache_entry_counts_error_and_reruns(tmp_path):
+    pts = points(1)
+    cache = ResultCache(tmp_path)
+    fresh = Engine(cache=cache).run_points(pts)[0]
+    path = cache.path_for(pts[0].fingerprint())
+    path.write_text("garbage")
+    engine = Engine(cache=ResultCache(tmp_path))
+    again = engine.run_points(pts)[0]
+    assert again == fresh  # Re-simulated, not crashed.
+    assert engine.stats["cache_errors"] == 1
+    assert engine.stats["simulated"] == 1
+    # The re-run repaired the entry.
+    assert Engine(cache=ResultCache(tmp_path)).run_points(pts)[0] == fresh
+
+
+def test_engine_records_obs_counters(tmp_path):
+    obs = Telemetry()
+    engine = Engine(cache=ResultCache(tmp_path), obs=obs)
+    engine.run_points(points(2))
+    engine.run_points(points(2))
+    assert obs.counter("exec.points.submitted") == 4
+    assert obs.counter("exec.points.simulated") == 2
+    assert obs.counter("exec.cache.hits") == 2
+    assert obs.counter("exec.cache.misses") == 2
+    assert obs.counter("exec.cache.stores") == 2
+    assert obs.timers["exec.point.wall"].calls == 2
+
+
+def test_engine_progress_callback_is_cumulative():
+    seen = []
+    engine = Engine(progress=lambda d, s, h: seen.append((d, s, h)))
+    engine.run_points(points(2))
+    assert seen[-1] == (2, 2, 0)
+    engine.run_points(points(2))
+    assert seen[-1] == (4, 4, 0)
+
+
+def test_engine_run_mix_matches_runner_run_mix():
+    result = Engine().run_mix(
+        link(), [("cubic", 2), ("bbr", 2)], duration=10, seed=3
+    )
+    direct = run_mix(
+        link(), [("cubic", 2), ("bbr", 2)], duration=10, seed=3
+    )
+    assert result == direct
+
+
+def test_engine_jobs_validation():
+    with pytest.raises(ValueError):
+        Engine(jobs=0)
+
+
+def test_default_engine_install_and_resolve():
+    assert engine_mod.get_default() is None
+    custom = Engine()
+    with engine_mod.use(custom):
+        assert engine_mod.resolve(None) is custom
+    assert engine_mod.get_default() is None
+    fallback = engine_mod.resolve(None)
+    assert fallback.jobs == 1 and fallback.cache is None
+
+
+# -- scenario-result serialization -------------------------------------------
+
+
+def test_scenario_result_dict_roundtrip_exact():
+    result = run_mix(link(), [("cubic", 2), ("bbr", 2)], duration=10)
+    data = json.loads(json.dumps(result.to_dict()))
+    assert ScenarioResult.from_dict(data) == result
+
+
+# -- NE machinery through the cache ------------------------------------------
+
+
+def test_bisect_nash_reuses_cached_points_across_sweeps(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = Engine(cache=cache)
+    fn = distribution_throughput_fn(
+        link(), n_flows=5, duration=8, engine=cold
+    )
+    equilibria, _ = bisect_nash(5, fn)
+    assert cold.stats["simulated"] > 0
+
+    warm = Engine(cache=ResultCache(tmp_path))
+    fn2 = distribution_throughput_fn(
+        link(), n_flows=5, duration=8, engine=warm
+    )
+    equilibria2, _ = bisect_nash(5, fn2)
+    assert equilibria2 == equilibria
+    assert warm.stats["simulated"] == 0
+    assert warm.stats["cache_hits"] == warm.stats["submitted"]
+
+
+def test_group_payoff_fn_cached(tmp_path):
+    kwargs = dict(
+        group_rtts=[0.010, 0.030], group_sizes=[2, 2], duration=8
+    )
+    cold = Engine(cache=ResultCache(tmp_path))
+    first = group_payoff_fn(link(), engine=cold, **kwargs)((1, 2))
+    warm = Engine(cache=ResultCache(tmp_path))
+    second = group_payoff_fn(link(), engine=warm, **kwargs)((1, 2))
+    assert second == first
+    assert warm.stats["simulated"] == 0
+    assert warm.stats["cache_hits"] == 1
+    # Validation still happens before the cache is consulted.
+    with pytest.raises(ValueError):
+        group_payoff_fn(link(), engine=warm, **kwargs)((3, 0))

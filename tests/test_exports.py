@@ -57,6 +57,18 @@ def test_top_level_exports():
             ["FIGURES", "run_mix", "FigureResult"],
         ),
         (
+            "repro.exec",
+            [
+                "Engine",
+                "ResultCache",
+                "ScenarioPoint",
+                "default_cache_root",
+                "fingerprint_payload",
+                "resolve",
+                "use",
+            ],
+        ),
+        (
             "repro.analysis",
             ["jains_index", "synchronization_index", "classify_regime"],
         ),

@@ -4,8 +4,10 @@ import pytest
 
 from repro.experiments.runner import (
     distribution_throughput_fn,
+    expand_mix,
     group_payoff_fn,
     run_mix,
+    spaced_seed,
 )
 from repro.util.config import LinkConfig
 
@@ -112,3 +114,32 @@ def test_group_payoff_fn_shape():
 def test_group_payoff_fn_validates_lengths():
     with pytest.raises(ValueError):
         group_payoff_fn(link(), [0.01], [2, 2])
+
+
+def test_expand_mix_lowercases_and_applies_rtts():
+    flows = expand_mix(
+        [("CUBIC", 2), ("reno", 0), ("BBR", 1)],
+        rtts={"bbr": 0.05},
+    )
+    assert flows == [("cubic", None), ("cubic", None), ("bbr", 0.05)]
+
+
+def test_spaced_seed_no_collisions_for_large_trial_counts():
+    # Regression: the old spacing ``seed + 1000 * k`` collided as soon as
+    # trial offsets exceeded 1000 (seed + 1000*k + trial == the base seed
+    # of distribution index k + 1).  The hashed spacing keeps every
+    # (index, trial) stream disjoint even for huge trial counts.
+    trials = 2500
+    seeds = {
+        spaced_seed(0, k) + trial
+        for k in range(20)
+        for trial in range(trials)
+    }
+    assert len(seeds) == 20 * trials
+
+
+def test_spaced_seed_deterministic_and_seed_sensitive():
+    assert spaced_seed(7, 3) == spaced_seed(7, 3)
+    assert spaced_seed(7, 3) != spaced_seed(8, 3)
+    assert spaced_seed(7, 3) != spaced_seed(7, 4)
+    assert 0 <= spaced_seed(0, 0) < 2**56
