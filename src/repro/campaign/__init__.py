@@ -1,0 +1,62 @@
+"""Declarative scenario campaigns with checkpointed, resumable sweeps.
+
+The figure generators reproduce the paper; campaigns go beyond it: a
+study is a small TOML/JSON *spec* — parameter axes, an expansion mode,
+stages, derived metrics — expanded into checkpointable units and
+executed through the :mod:`repro.exec` engine.  Completed units are
+journaled durably, so a killed campaign resumes without re-simulating
+anything, and an ``adaptive`` stage turns the paper's NE-region search
+(Figure 9) into a ~20-line spec.  See ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.campaign.expand import Unit, expand_axes, expand_units
+from repro.campaign.journal import Journal, JournalError, JournalRecord
+from repro.campaign.run import (
+    CampaignError,
+    CampaignSummary,
+    UnitOutcome,
+    execute_units,
+    load_campaign,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    Axis,
+    CampaignSpec,
+    SpecError,
+    Stage,
+    format_mix,
+    load_spec,
+    parse_mix,
+    parse_spec,
+)
+from repro.campaign.studies import (
+    bundled_campaign_dir,
+    fig9_campaign,
+    list_bundled_campaigns,
+)
+
+__all__ = [
+    "Axis",
+    "CampaignError",
+    "CampaignSpec",
+    "CampaignSummary",
+    "Journal",
+    "JournalError",
+    "JournalRecord",
+    "SpecError",
+    "Stage",
+    "Unit",
+    "UnitOutcome",
+    "bundled_campaign_dir",
+    "execute_units",
+    "expand_axes",
+    "expand_units",
+    "fig9_campaign",
+    "format_mix",
+    "list_bundled_campaigns",
+    "load_campaign",
+    "load_spec",
+    "parse_mix",
+    "parse_spec",
+    "run_campaign",
+]

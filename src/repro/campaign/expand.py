@@ -1,0 +1,222 @@
+"""Axis expansion: a validated spec becomes a flat list of work units.
+
+``grid`` expansion takes the Cartesian product of the axes (in
+declaration order, rightmost fastest — the order the figure sweeps have
+always iterated); ``zip`` pairs equal-length axes element-wise.  Each
+combination crossed with each stage yields a :class:`Unit` — the atom of
+campaign execution, checkpointing, and resumption.  A unit's identity
+(:meth:`Unit.unit_id`) is a content fingerprint over the fully resolved
+parameters *and* its position, so the checkpoint journal can match
+completed units across process restarts without trusting list order
+alone.
+
+Resolution rules keep fingerprints identical to the hand-coded figure
+sweeps: when a combination overrides only ``buffer_bdp``, the unit link
+is ``spec.link.with_buffer_bdp(value)`` with the axis value exactly as
+authored (an integer ``2`` stays ``2``, as in the original
+``buffers = [0.5, 2, 5, ...]`` lists), so campaign runs and figure runs
+share result-cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec, Mix, format_mix
+from repro.exec.fingerprint import (
+    ScenarioPoint,
+    fingerprint_payload,
+    link_params,
+)
+from repro.util.config import LinkConfig
+
+__all__ = ["Unit", "expand_axes", "expand_units"]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One checkpointable atom of campaign work.
+
+    For ``sweep`` stages a unit is one scenario point; for ``adaptive``
+    stages it is one complete NE bisection (``search`` indexes the
+    independent repetitions of a combination).
+    """
+
+    index: int
+    stage: str
+    kind: str
+    combo: Tuple[Tuple[str, Any], ...]
+    link: LinkConfig
+    duration: float
+    backend: str
+    trials: int
+    seed: int
+    loss_mode: str
+    mix: Optional[Mix] = None
+    # Adaptive-only fields.
+    flows: int = 0
+    challenger: str = ""
+    incumbent: str = ""
+    search: int = 0
+    seed_stride: int = 0
+
+    def combo_dict(self) -> Dict[str, Any]:
+        """The swept values this unit was expanded from (CSV columns)."""
+        out: Dict[str, Any] = {}
+        for name, value in self.combo:
+            out[name] = format_mix(value) if name == "mix" else value
+        return out
+
+    def params(self) -> Dict[str, Any]:
+        """The resolved-parameter descriptor hashed by :meth:`unit_id`."""
+        params: Dict[str, Any] = {
+            "index": self.index,
+            "stage": self.stage,
+            "type": self.kind,
+            "link": link_params(self.link),
+            "duration": self.duration,
+            "backend": self.backend,
+            "trials": self.trials,
+            "seed": self.seed,
+            "loss_mode": self.loss_mode,
+        }
+        if self.kind == "sweep":
+            params["mix"] = [list(entry) for entry in self.mix or ()]
+        else:
+            params["flows"] = self.flows
+            params["challenger"] = self.challenger
+            params["incumbent"] = self.incumbent
+            params["search"] = self.search
+            params["seed_stride"] = self.seed_stride
+        return params
+
+    def unit_id(self) -> str:
+        """Stable identity used by the checkpoint journal."""
+        return fingerprint_payload("campaign_unit", self.params())
+
+    def to_point(self) -> ScenarioPoint:
+        """The scenario point a ``sweep`` unit executes."""
+        if self.kind != "sweep":
+            raise ValueError(
+                f"unit {self.index} is {self.kind!r}, not a sweep point"
+            )
+        assert self.mix is not None  # Validated at parse time.
+        return ScenarioPoint(
+            link=self.link,
+            mix=self.mix,
+            duration=self.duration,
+            backend=self.backend,
+            trials=self.trials,
+            seed=self.seed,
+            loss_mode=self.loss_mode,
+        )
+
+    def describe(self) -> str:
+        """One-line label for progress output."""
+        combo = ", ".join(
+            f"{name}={value}" for name, value in self.combo_dict().items()
+        )
+        tail = f" search {self.search}" if self.kind == "adaptive" else ""
+        return f"[{self.stage}] {combo or '(single point)'}{tail}"
+
+
+def expand_axes(spec: CampaignSpec) -> List[Tuple[Tuple[str, Any], ...]]:
+    """Expand the spec's axes into combinations of ``(name, value)``.
+
+    ``grid`` is the Cartesian product in declaration order (rightmost
+    axis fastest); ``zip`` pairs axes element-wise (lengths validated at
+    parse time).
+    """
+    names = [axis.name for axis in spec.axes]
+    if spec.expand == "zip":
+        rows: Iterator[Tuple[Any, ...]] = zip(
+            *(axis.values for axis in spec.axes)
+        )
+    else:
+        rows = itertools.product(*(axis.values for axis in spec.axes))
+    return [tuple(zip(names, row)) for row in rows]
+
+
+def _resolve_link(
+    spec: CampaignSpec, combo: Dict[str, Any]
+) -> LinkConfig:
+    bandwidth = combo.get("bandwidth_mbps")
+    rtt = combo.get("rtt_ms")
+    buffer_bdp = combo.get("buffer_bdp")
+    if bandwidth is None and rtt is None:
+        # Buffer-only sweeps reuse the base link verbatim so float
+        # identity (and therefore cache fingerprints) matches the
+        # hand-coded ``base.with_buffer_bdp(depth)`` figure loops.
+        if buffer_bdp is None:
+            return spec.link
+        return spec.link.with_buffer_bdp(buffer_bdp)
+    return LinkConfig.from_mbps_ms(
+        bandwidth if bandwidth is not None else spec.link.capacity_mbps,
+        rtt if rtt is not None else spec.link.rtt_ms,
+        buffer_bdp if buffer_bdp is not None else spec.link.buffer_bdp,
+        mss=spec.link.mss,
+    )
+
+
+def expand_units(spec: CampaignSpec) -> List[Unit]:
+    """Every unit of the campaign, in deterministic execution order.
+
+    Units are ordered stage-by-stage; within a stage, combinations in
+    expansion order; within an adaptive combination, searches ascending
+    — matching the nesting of the original figure-9 loops so resumed
+    and fresh runs write rows in the same order.
+    """
+    combos = expand_axes(spec)
+    units: List[Unit] = []
+    index = 0
+    for stage in spec.stages:
+        for combo in combos:
+            resolved = dict(combo)
+            link = _resolve_link(spec, resolved)
+            duration = resolved.get("duration", spec.duration)
+            backend = resolved.get("backend", spec.backend)
+            trials = resolved.get("trials", spec.trials)
+            seed = resolved.get("seed", spec.seed)
+            loss_mode = resolved.get("loss_mode", spec.loss_mode)
+            if stage.kind == "sweep":
+                units.append(
+                    Unit(
+                        index=index,
+                        stage=stage.name,
+                        kind=stage.kind,
+                        combo=combo,
+                        link=link,
+                        duration=duration,
+                        backend=backend,
+                        trials=trials,
+                        seed=seed,
+                        loss_mode=loss_mode,
+                        mix=resolved.get("mix", spec.mix),
+                    )
+                )
+                index += 1
+            else:
+                for search in range(stage.searches):
+                    units.append(
+                        Unit(
+                            index=index,
+                            stage=stage.name,
+                            kind=stage.kind,
+                            combo=combo,
+                            link=link,
+                            duration=duration,
+                            backend=backend,
+                            trials=trials,
+                            seed=seed,
+                            loss_mode=loss_mode,
+                            flows=stage.flows,
+                            challenger=stage.challenger,
+                            incumbent=stage.incumbent,
+                            search=search,
+                            seed_stride=stage.seed_stride,
+                        )
+                    )
+                    index += 1
+    return units

@@ -1,0 +1,202 @@
+"""Checkpoint journal: crash-safe record of completed campaign units.
+
+The journal is a JSONL file (``journal.jsonl`` inside the campaign
+output directory).  The first line is a header binding the journal to a
+spec fingerprint; every subsequent line records one *completed* unit —
+its id, index, stage, output rows, and wall time.  Appends are flushed
+and ``fsync``-ed, so after a crash the file contains every unit whose
+record returned from :meth:`Journal.append`, plus at most one truncated
+trailing line (the record being written when the process died).  Loading
+tolerates exactly that: an undecodable *final* line is discarded;
+corruption anywhere earlier raises :class:`JournalError`, since it means
+the file was edited or damaged, not merely interrupted.
+
+Rows are serialized without key sorting.  Insertion order is the CSV
+column order, and JSON round-trips floats exactly, so a campaign
+finished from a journal writes a byte-identical CSV to one that never
+stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro import __version__
+
+__all__ = ["Journal", "JournalError", "JournalRecord"]
+
+JOURNAL_NAME = "journal.jsonl"
+JOURNAL_SCHEMA = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is missing, damaged, or from another campaign."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One completed unit as persisted in the journal."""
+
+    unit_id: str
+    index: int
+    stage: str
+    rows: Tuple[Dict[str, Any], ...]
+    wall_s: float
+
+    def to_line(self) -> str:
+        # No sort_keys: row key order is the CSV column order and must
+        # survive the round-trip.
+        return json.dumps(
+            {
+                "kind": "unit",
+                "unit": self.unit_id,
+                "index": self.index,
+                "stage": self.stage,
+                "rows": list(self.rows),
+                "wall_s": self.wall_s,
+            },
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+class Journal:
+    """Append-only checkpoint log for one campaign directory."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def in_dir(cls, out_dir: Union[str, Path]) -> "Journal":
+        return cls(Path(out_dir) / JOURNAL_NAME)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- writing -----------------------------------------------------------
+
+    def create(self, name: str, fingerprint: str) -> None:
+        """Start a fresh journal with a header line (fsync-ed)."""
+        header = json.dumps(
+            {
+                "kind": "campaign",
+                "schema": JOURNAL_SCHEMA,
+                "name": name,
+                "fingerprint": fingerprint,
+                "version": __version__,
+            },
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(header + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one completed unit.
+
+        The line is flushed and fsync-ed before returning, so a unit is
+        either fully journaled or (after a crash) reproducibly absent —
+        its result still sits in the content-addressed cache, making the
+        re-run on resume a cache hit, not a re-simulation.
+        """
+        line = record.to_line()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading -----------------------------------------------------------
+
+    def _lines(self) -> Iterator[Tuple[int, str]]:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise JournalError(
+                f"{self.path}: no checkpoint journal found"
+            ) from None
+        except OSError as exc:
+            raise JournalError(f"{self.path}: cannot read journal: {exc}")
+        for number, line in enumerate(text.splitlines(), start=1):
+            if line.strip():
+                yield number, line
+
+    def load(
+        self, expect_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], List[JournalRecord]]:
+        """Parse the journal into ``(header, completed records)``.
+
+        A final line that fails to decode is treated as the torn write
+        of a killed process and dropped; anything malformed before the
+        end raises :class:`JournalError`.  When ``expect_fingerprint``
+        is given, a header mismatch fails loudly — resuming a directory
+        with a *different* spec would silently mix studies.
+        """
+        entries = list(self._lines())
+        if not entries:
+            raise JournalError(f"{self.path}: journal is empty")
+        parsed: List[Tuple[int, Dict[str, Any]]] = []
+        for position, (number, line) in enumerate(entries):
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("not an object")
+            except ValueError as exc:
+                if position == len(entries) - 1:
+                    break  # Torn trailing write from a killed run.
+                raise JournalError(
+                    f"{self.path}:{number}: corrupt journal line: {exc}"
+                ) from None
+            parsed.append((number, data))
+        if not parsed:
+            raise JournalError(f"{self.path}: journal has no valid header")
+        number, header = parsed[0]
+        if header.get("kind") != "campaign":
+            raise JournalError(
+                f"{self.path}:{number}: first line is not a campaign header"
+            )
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"{self.path}: journal schema {header.get('schema')!r} "
+                f"is not supported (want {JOURNAL_SCHEMA})"
+            )
+        if (
+            expect_fingerprint is not None
+            and header.get("fingerprint") != expect_fingerprint
+        ):
+            raise JournalError(
+                f"{self.path}: journal belongs to a different campaign "
+                f"spec (fingerprint {header.get('fingerprint')!r}); "
+                "refusing to mix studies"
+            )
+        records: List[JournalRecord] = []
+        for number, data in parsed[1:]:
+            if data.get("kind") != "unit":
+                raise JournalError(
+                    f"{self.path}:{number}: unexpected record kind "
+                    f"{data.get('kind')!r}"
+                )
+            try:
+                rows = tuple(data["rows"])
+                record = JournalRecord(
+                    unit_id=str(data["unit"]),
+                    index=int(data["index"]),
+                    stage=str(data["stage"]),
+                    rows=rows,
+                    wall_s=float(data["wall_s"]),
+                )
+                for row in rows:
+                    if not isinstance(row, dict):
+                        raise KeyError("rows must be objects")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JournalError(
+                    f"{self.path}:{number}: malformed unit record: {exc}"
+                ) from None
+            records.append(record)
+        return header, records

@@ -1,0 +1,423 @@
+"""Campaign orchestration: execute units, checkpoint, resume, report.
+
+:func:`run_campaign` owns a campaign *output directory*::
+
+    <out>/spec.json       frozen copy of the validated spec + fingerprint
+    <out>/journal.jsonl   checkpoint journal (one line per finished unit)
+    <out>/<csv>           final derived-metric table (insertion-ordered)
+    <out>/manifest.json   campaign manifest (repro.obs)
+
+Execution streams through :meth:`repro.exec.Engine.iter_points` for
+``sweep`` stages (parallel fan-out, content-addressed cache) and runs
+``adaptive`` units — empirical-NE bisections reusing the figure-9
+best-response machinery — sequentially, each bisection's scenario
+points themselves engine-routed and cached.  Every finished unit is
+journaled durably before the next is started, so a killed campaign
+resumed with ``repro-bbr campaign resume`` replays the journal, submits
+only the missing units, and (because in-flight results were already in
+the result cache) re-simulates nothing.
+
+Output rows are assembled in *unit order*, not completion order, so an
+interrupted-and-resumed campaign writes a byte-identical CSV to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.expand import Unit, expand_units
+from repro.campaign.journal import Journal, JournalError, JournalRecord
+from repro.campaign.spec import CampaignSpec, parse_spec
+from repro.exec.engine import Engine, resolve as resolve_engine
+
+__all__ = [
+    "CampaignError",
+    "CampaignSummary",
+    "UnitOutcome",
+    "execute_units",
+    "load_campaign",
+    "run_campaign",
+]
+
+SPEC_NAME = "spec.json"
+MANIFEST_NAME = "manifest.json"
+SPEC_FILE_SCHEMA = 1
+
+
+class CampaignError(RuntimeError):
+    """A campaign cannot run as requested; the message is one line."""
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """One resolved unit: its output rows and where they came from."""
+
+    unit_id: str
+    index: int
+    stage: str
+    rows: Tuple[Dict[str, Any], ...]
+    wall_s: float
+    from_journal: bool
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """What a campaign run did, for reporting and tests."""
+
+    name: str
+    out_dir: Path
+    total_units: int
+    from_journal: int
+    executed: int
+    rows: int
+    wall_s: float
+    interrupted: bool
+    csv_path: Optional[Path]
+
+
+# -- derived metrics ---------------------------------------------------------
+
+
+def _metric_value(metric: str, result: Any) -> Any:
+    """Evaluate one spec metric against a ScenarioResult."""
+    base, _sep, cc = metric.partition(":")
+    if base == "per_flow_mbps":
+        return result.per_flow_mbps(cc)
+    if base == "aggregate_mbps":
+        return result.aggregate.get(cc, 0.0) * 8.0 / 1e6
+    if base == "loss_rate":
+        return result.loss_rate.get(cc, 0.0)
+    if base == "retransmits":
+        return result.retransmits.get(cc, 0.0)
+    if base == "queuing_delay_ms":
+        return result.mean_queuing_delay * 1e3
+    if base == "drop_rate":
+        return result.drop_rate
+    raise CampaignError(f"unknown metric {metric!r}")  # pragma: no cover
+
+
+def _sweep_rows(
+    spec: CampaignSpec, unit: Unit, result: Any
+) -> Tuple[Dict[str, Any], ...]:
+    """One CSV row for a sweep unit: swept values then metric columns."""
+    row = unit.combo_dict()
+    for metric in spec.metrics:
+        row[metric] = _metric_value(metric, result)
+    return (row,)
+
+
+def _run_adaptive(
+    unit: Unit, engine: Engine
+) -> Tuple[Tuple[Dict[str, Any], ...], float]:
+    """One NE bisection: rows per equilibrium found at this combination.
+
+    Seeding matches the hand-coded figure-9 loop exactly
+    (``seed + stride × search`` into ``distribution_throughput_fn``), so
+    a campaign and the figure generator hit the same cache entries.
+    """
+    from repro.core.game import bisect_nash
+    from repro.core.nash import predict_nash
+    from repro.experiments.runner import distribution_throughput_fn
+
+    start = perf_counter()
+    fn = distribution_throughput_fn(
+        unit.link,
+        unit.flows,
+        challenger=unit.challenger,
+        incumbent=unit.incumbent,
+        duration=unit.duration,
+        backend=unit.backend,
+        trials=unit.trials,
+        seed=unit.seed + unit.seed_stride * unit.search,
+        engine=engine,
+    )
+    equilibria, _cache = bisect_nash(unit.flows, fn)
+    # The analytic Nash-region bounds (Eq. 25) ride along as model
+    # columns; they describe the CUBIC-vs-BBR game, the one the paper
+    # (and the bundled specs) study.
+    prediction = predict_nash(unit.link, unit.flows)
+    rows: List[Dict[str, Any]] = []
+    for k in equilibria:
+        row = unit.combo_dict()
+        row["search"] = unit.search
+        row["ne_challenger"] = k
+        row["ne_incumbent"] = unit.flows - k
+        row["model_incumbent_sync"] = prediction.n_cubic_sync
+        row["model_incumbent_desync"] = prediction.n_cubic_desync
+        rows.append(row)
+    return tuple(rows), perf_counter() - start
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def execute_units(
+    spec: CampaignSpec,
+    units: List[Unit],
+    engine: Optional[Engine] = None,
+    completed: Optional[Dict[str, JournalRecord]] = None,
+    on_unit: Optional[Callable[[UnitOutcome], None]] = None,
+    stop_after: Optional[int] = None,
+) -> Tuple[List[UnitOutcome], bool]:
+    """Resolve every unit, replaying ``completed`` journal records.
+
+    ``on_unit`` fires once per *newly executed* unit, in completion
+    order, before the next unit starts — the journaling hook.
+    ``stop_after`` stops cleanly after that many new executions (the
+    deterministic stand-in for a killed campaign, used by tests and the
+    CI smoke job); the second element of the return value reports
+    whether the run stopped early.  Outcomes are returned in unit
+    order regardless of completion order.
+    """
+    eng = resolve_engine(engine)
+    completed = completed or {}
+    outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
+    executed = 0
+    interrupted = False
+
+    def record(outcome: UnitOutcome) -> bool:
+        """Account one new execution; False means stop now."""
+        nonlocal executed, interrupted
+        outcomes[outcome.index] = outcome
+        executed += 1
+        if on_unit is not None:
+            on_unit(outcome)
+        if stop_after is not None and executed >= stop_after:
+            interrupted = True
+            return False
+        return True
+
+    todo: List[Unit] = []
+    for position, unit in enumerate(units):
+        if unit.index != position:  # pragma: no cover - expander invariant
+            raise CampaignError(
+                f"unit list is not in index order at position {position}"
+            )
+        replay = completed.get(unit.unit_id())
+        if replay is not None:
+            outcomes[position] = UnitOutcome(
+                unit_id=replay.unit_id,
+                index=unit.index,
+                stage=unit.stage,
+                rows=replay.rows,
+                wall_s=replay.wall_s,
+                from_journal=True,
+            )
+        else:
+            todo.append(unit)
+
+    for stage in spec.stages:
+        if interrupted:
+            break
+        stage_units = [u for u in todo if u.stage == stage.name]
+        if not stage_units:
+            continue
+        if stage.kind == "sweep":
+            points = [u.to_point() for u in stage_units]
+            for position, result, wall in eng.iter_points(points):
+                unit = stage_units[position]
+                outcome = UnitOutcome(
+                    unit_id=unit.unit_id(),
+                    index=unit.index,
+                    stage=unit.stage,
+                    rows=_sweep_rows(spec, unit, result),
+                    wall_s=wall,
+                    from_journal=False,
+                )
+                if not record(outcome):
+                    break
+        else:
+            for unit in stage_units:
+                rows, wall = _run_adaptive(unit, eng)
+                outcome = UnitOutcome(
+                    unit_id=unit.unit_id(),
+                    index=unit.index,
+                    stage=unit.stage,
+                    rows=rows,
+                    wall_s=wall,
+                    from_journal=False,
+                )
+                if not record(outcome):
+                    break
+
+    if interrupted:
+        return [o for o in outcomes if o is not None], True
+    missing = [i for i, o in enumerate(outcomes) if o is None]
+    if missing:  # pragma: no cover - engine contract
+        raise CampaignError(f"units never resolved: {missing[:5]}")
+    return outcomes, False  # type: ignore[return-value]
+
+
+# -- the campaign directory --------------------------------------------------
+
+
+def _write_spec_file(spec: CampaignSpec, out_dir: Path) -> None:
+    payload = {
+        "schema": SPEC_FILE_SCHEMA,
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.to_dict(),
+    }
+    (out_dir / SPEC_NAME).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_campaign(out_dir: Union[str, Path]) -> CampaignSpec:
+    """Recover the validated spec frozen into a campaign directory."""
+    path = Path(out_dir) / SPEC_NAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CampaignError(
+            f"{out_dir}: not a campaign directory (no {SPEC_NAME})"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise CampaignError(f"{path}: cannot load spec: {exc}") from None
+    if not isinstance(data, dict) or data.get("schema") != SPEC_FILE_SCHEMA:
+        raise CampaignError(
+            f"{path}: unsupported campaign spec file (schema "
+            f"{data.get('schema') if isinstance(data, dict) else '?'!r})"
+        )
+    return parse_spec(data.get("spec"), source=str(path))
+
+
+def _write_csv(path: Path, outcomes: List[UnitOutcome]) -> int:
+    """Write all rows in unit order; columns in first-seen key order."""
+    columns: List[str] = []
+    rows: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        for row in outcome.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+            rows.append(row)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(column, "") for column in columns])
+    return len(rows)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Union[str, Path],
+    engine: Optional[Engine] = None,
+    resume: bool = False,
+    stop_after: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignSummary:
+    """Run (or resume) a campaign into ``out_dir``.
+
+    Fresh runs refuse a directory that already has a journal (resuming
+    must be explicit — silently continuing someone else's half-finished
+    study is how results get mixed); resumes refuse a directory whose
+    journal belongs to a different spec fingerprint.  On a clean finish
+    the derived-metric CSV and the campaign manifest are written; an
+    interrupted run (``stop_after``) leaves only the journal, ready to
+    resume.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    journal = Journal.in_dir(out)
+    fingerprint = spec.fingerprint()
+
+    completed: Dict[str, JournalRecord] = {}
+    if resume:
+        header, records = journal.load(expect_fingerprint=fingerprint)
+        completed = {record.unit_id: record for record in records}
+    else:
+        if journal.exists():
+            raise CampaignError(
+                f"{out}: already contains a campaign journal; use "
+                f"'repro-bbr campaign resume {out}' to continue it"
+            )
+        _write_spec_file(spec, out)
+        journal.create(spec.name, fingerprint)
+
+    units = expand_units(spec)
+    unknown = set(completed) - {unit.unit_id() for unit in units}
+    if unknown:
+        raise JournalError(
+            f"{journal.path}: {len(unknown)} journaled unit(s) do not "
+            "match the spec expansion; refusing to mix studies"
+        )
+
+    def journal_unit(outcome: UnitOutcome) -> None:
+        journal.append(
+            JournalRecord(
+                unit_id=outcome.unit_id,
+                index=outcome.index,
+                stage=outcome.stage,
+                rows=outcome.rows,
+                wall_s=outcome.wall_s,
+            )
+        )
+        if log is not None:
+            log(
+                f"  unit {outcome.index + 1}/{len(units)} done "
+                f"[{outcome.stage}] ({outcome.wall_s:.2f}s, "
+                f"{len(outcome.rows)} row(s))"
+            )
+
+    start = perf_counter()
+    outcomes, interrupted = execute_units(
+        spec,
+        units,
+        engine=engine,
+        completed=completed,
+        on_unit=journal_unit,
+        stop_after=stop_after,
+    )
+    wall = perf_counter() - start
+
+    from_journal = sum(1 for o in outcomes if o.from_journal)
+    executed = sum(1 for o in outcomes if not o.from_journal)
+    if interrupted:
+        return CampaignSummary(
+            name=spec.name,
+            out_dir=out,
+            total_units=len(units),
+            from_journal=from_journal,
+            executed=executed,
+            rows=sum(len(o.rows) for o in outcomes),
+            wall_s=wall,
+            interrupted=True,
+            csv_path=None,
+        )
+
+    csv_path = out / spec.csv_name
+    n_rows = _write_csv(csv_path, outcomes)
+
+    from repro.obs.manifest import CampaignManifest
+
+    eng = resolve_engine(engine)
+    CampaignManifest.build(
+        spec_name=spec.name,
+        fingerprint=fingerprint,
+        total_units=len(units),
+        from_journal=from_journal,
+        executed=executed,
+        rows=n_rows,
+        wall_time_s=wall,
+        csv=spec.csv_name,
+        exec_stats=dict(eng.stats),
+    ).write(str(out / MANIFEST_NAME))
+
+    return CampaignSummary(
+        name=spec.name,
+        out_dir=out,
+        total_units=len(units),
+        from_journal=from_journal,
+        executed=executed,
+        rows=n_rows,
+        wall_s=wall,
+        interrupted=False,
+        csv_path=csv_path,
+    )

@@ -1,0 +1,102 @@
+"""Programmatic builders for the studies the repo ships as campaigns.
+
+:func:`fig9_campaign` builds the NE-region study of the paper's
+Figure 9 as a :class:`~repro.campaign.spec.CampaignSpec` — the *same*
+spec checked in at ``examples/campaigns/fig9-ne-quick.toml`` (a test
+pins their fingerprints equal), and the spec
+:func:`repro.experiments.figures.figure9` now runs under the hood.
+Building it here keeps one source of truth for the numbers while
+letting the TOML file stay a copy-paste starting point for users.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.campaign.spec import CampaignSpec, parse_spec
+
+__all__ = [
+    "bundled_campaign_dir",
+    "fig9_campaign",
+    "list_bundled_campaigns",
+]
+
+#: Buffer depths (BDP) of the quick/full figure-9 panels.
+FIG9_QUICK_BUFFERS = [0.5, 2, 5, 10, 20, 35, 50]
+FIG9_FULL_BUFFERS = [0.5] + [float(b) for b in range(1, 51)]
+
+
+def fig9_campaign(
+    capacity_mbps: float = 100.0,
+    rtt_ms: float = 40.0,
+    scale: str = "quick",
+    seed: int = 0,
+    challenger: str = "bbr",
+) -> CampaignSpec:
+    """The Figure-9 NE-region study as a campaign spec.
+
+    Parameters mirror :func:`repro.experiments.figures.figure9`; the
+    expansion reproduces its loops exactly (buffer axis outer, NE
+    searches inner, ``seed + 7919·search`` seeding), so results land on
+    the same cache fingerprints as the historical figure path.
+    """
+    from repro.experiments.figures import _check_scale
+
+    full = _check_scale(scale)
+    n_flows = 50 if full else 20
+    duration = 120.0 if full else 110.0
+    searches = 10 if full else 2
+    buffers = FIG9_FULL_BUFFERS if full else FIG9_QUICK_BUFFERS
+    name = f"fig9-{capacity_mbps:g}mbps-{rtt_ms:g}ms-{scale}" + (
+        "" if challenger == "bbr" else f"-{challenger}"
+    )
+    data = {
+        "name": name,
+        "description": (
+            f"NE region vs buffer depth: {n_flows} flows, "
+            f"{capacity_mbps:g} Mbps / {rtt_ms:g} ms "
+            f"(fig9 {scale} panel)"
+        ),
+        "link": {
+            "bandwidth_mbps": capacity_mbps,
+            "rtt_ms": rtt_ms,
+            "buffer_bdp": 1.0,
+        },
+        "defaults": {
+            "duration": duration,
+            "backend": "fluid",
+            "trials": 1,
+            "seed": seed,
+        },
+        "expand": "grid",
+        "axes": [{"name": "buffer_bdp", "values": list(buffers)}],
+        "stages": [
+            {
+                "name": "ne",
+                "type": "adaptive",
+                "flows": n_flows,
+                "challenger": challenger,
+                "incumbent": "cubic",
+                "searches": searches,
+            }
+        ],
+    }
+    return parse_spec(data, source=f"fig9_campaign({scale})")
+
+
+def bundled_campaign_dir() -> Path:
+    """Where the example specs shipped with the repo live."""
+    return Path(__file__).resolve().parents[3] / "examples" / "campaigns"
+
+
+def list_bundled_campaigns() -> List[Path]:
+    """The checked-in example specs, sorted by name."""
+    root = bundled_campaign_dir()
+    if not root.is_dir():
+        return []
+    return sorted(
+        path
+        for path in root.iterdir()
+        if path.suffix.lower() in (".toml", ".json")
+    )

@@ -9,7 +9,10 @@ Subcommands:
 * ``validate`` — score the model vs Ware et al. against a simulator sweep.
 * ``evolve``   — play the CCA-selection game via best-response dynamics.
 * ``report``   — summarize a JSONL trace written with ``--trace-out``.
-* ``list``     — list available figures and congestion controls.
+* ``campaign`` — run/resume/inspect declarative scenario campaigns
+  (``run``, ``resume``, ``status``, ``validate``; see docs/CAMPAIGNS.md).
+* ``cache``    — inspect (``info``) or prune (``clear``) the result cache.
+* ``list``     — list figures, congestion controls, and bundled campaigns.
 
 ``simulate`` and ``figure`` accept ``--profile`` (print telemetry
 counters/timers after the run) and ``--trace-out PATH`` (write a run
@@ -442,8 +445,162 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.campaign import bundled_campaign_dir, list_bundled_campaigns
+
     print("figures:", ", ".join(sorted(FIGURES)))
     print("congestion controls:", ", ".join(available_algorithms()))
+    specs = list_bundled_campaigns()
+    if specs:
+        print(
+            "campaigns:",
+            ", ".join(path.name for path in specs),
+            f"(in {bundled_campaign_dir()})",
+        )
+    return 0
+
+
+# -- campaign subcommands ----------------------------------------------------
+
+
+def _campaign_errors(fn):
+    """Turn campaign-layer exceptions into one-line diagnostics (exit 2)."""
+
+    def wrapper(args: argparse.Namespace) -> int:
+        from repro.campaign import CampaignError, JournalError, SpecError
+
+        try:
+            return fn(args)
+        except (SpecError, CampaignError, JournalError) as exc:
+            print(f"campaign error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapper
+
+
+def _print_campaign_summary(summary) -> None:
+    print(
+        f"campaign '{summary.name}': {summary.total_units} units, "
+        f"{summary.from_journal} from journal, "
+        f"{summary.executed} executed, {summary.rows} rows"
+    )
+
+
+def _run_campaign_cmd(args: argparse.Namespace, resume: bool) -> int:
+    from repro.campaign import load_campaign, load_spec, run_campaign
+
+    if resume:
+        out_dir = args.dir
+        spec = load_campaign(out_dir)
+    else:
+        spec = load_spec(args.spec)
+        out_dir = args.out
+    engine = _engine_from(args)
+    print(
+        f"campaign '{spec.name}'"
+        + (f": {spec.description}" if spec.description else "")
+    )
+    summary = run_campaign(
+        spec,
+        out_dir,
+        engine=engine,
+        resume=resume,
+        stop_after=args.stop_after,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    if summary.interrupted:
+        print(
+            f"campaign '{summary.name}' stopped after "
+            f"{summary.executed} new unit(s); resume with: "
+            f"repro-bbr campaign resume {summary.out_dir}"
+        )
+        return 3
+    _print_campaign_summary(summary)
+    _print_exec_summary(engine)
+    print(f"wrote {summary.csv_path}")
+    return 0
+
+
+@_campaign_errors
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _run_campaign_cmd(args, resume=False)
+
+
+@_campaign_errors
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _run_campaign_cmd(args, resume=True)
+
+
+@_campaign_errors
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaign import Journal, expand_units, load_campaign
+
+    spec = load_campaign(args.dir)
+    units = expand_units(spec)
+    journal = Journal.in_dir(args.dir)
+    _header, records = journal.load(expect_fingerprint=spec.fingerprint())
+    known = {unit.unit_id() for unit in units}
+    completed = sum(1 for record in records if record.unit_id in known)
+    csv_path = Path(args.dir) / spec.csv_name
+    state = (
+        "complete"
+        if csv_path.exists() and completed == len(units)
+        else "resumable"
+    )
+    print(f"campaign '{spec.name}' ({state})")
+    if spec.description:
+        print(f"  {spec.description}")
+    print(f"  fingerprint: {spec.fingerprint()}")
+    print(
+        f"  units: {completed}/{len(units)} completed, "
+        f"{sum(len(r.rows) for r in records)} rows journaled"
+    )
+    if state == "resumable":
+        print(f"  resume with: repro-bbr campaign resume {args.dir}")
+    return 0
+
+
+@_campaign_errors
+def _cmd_campaign_validate(args: argparse.Namespace) -> int:
+    from repro.campaign import expand_units, load_spec
+
+    spec = load_spec(args.spec)
+    units = expand_units(spec)
+    print(f"campaign '{spec.name}': OK")
+    if spec.description:
+        print(f"  {spec.description}")
+    print(f"  fingerprint: {spec.fingerprint()}")
+    print(
+        "  axes: "
+        + ", ".join(
+            f"{axis.name}[{len(axis.values)}]" for axis in spec.axes
+        )
+        + f" ({spec.expand})"
+    )
+    print(
+        "  stages: "
+        + ", ".join(
+            f"{stage.name} ({stage.kind})" for stage in spec.stages
+        )
+    )
+    print(f"  units: {len(units)}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(args.cache_dir or None)
+    if args.action == "info":
+        stats = cache.stats()
+        print(f"cache: {stats['root']}")
+        print(f"  entries: {stats['entries']}")
+        print(f"  bytes: {stats['bytes']}")
+        print(f"  schema: {stats['schema']}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
     return 0
 
 
@@ -543,6 +700,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="path to the JSONL trace file")
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser(
+        "campaign",
+        help="run declarative scenario campaigns (see docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cp = campaign_sub.add_parser(
+        "run", help="run a campaign spec into an output directory"
+    )
+    cp.add_argument("spec", help="path to a .toml/.json campaign spec")
+    cp.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="campaign output directory (journal, CSV, manifest)",
+    )
+    cp.add_argument(
+        "--stop-after",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop cleanly after N newly executed units (simulates an "
+        "interrupted campaign; exit code 3)",
+    )
+    _add_exec_args(cp)
+    cp.set_defaults(func=_cmd_campaign_run)
+
+    cp = campaign_sub.add_parser(
+        "resume", help="resume an interrupted campaign directory"
+    )
+    cp.add_argument("dir", help="campaign output directory to resume")
+    cp.add_argument(
+        "--stop-after",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop cleanly after N newly executed units (exit code 3)",
+    )
+    _add_exec_args(cp)
+    cp.set_defaults(func=_cmd_campaign_resume)
+
+    cp = campaign_sub.add_parser(
+        "status", help="show a campaign directory's progress"
+    )
+    cp.add_argument("dir", help="campaign output directory")
+    cp.set_defaults(func=_cmd_campaign_status)
+
+    cp = campaign_sub.add_parser(
+        "validate", help="parse and validate a campaign spec"
+    )
+    cp.add_argument("spec", help="path to a .toml/.json campaign spec")
+    cp.set_defaults(func=_cmd_campaign_validate)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the scenario result cache"
+    )
+    p.add_argument(
+        "action", choices=("info", "clear"), help="what to do"
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: ~/.cache/repro-bbr or "
+        "$REPRO_CACHE_DIR)",
+    )
+    p.set_defaults(func=_cmd_cache)
+
     p = sub.add_parser("list", help="list figures and algorithms")
     p.set_defaults(func=_cmd_list)
     return parser
@@ -551,6 +776,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_cache", False) and (
+        getattr(args, "cache_dir", None) is not None
+    ):
+        print(
+            "--no-cache and --cache-dir are contradictory; drop one",
+            file=sys.stderr,
+        )
+        return 2
     return args.func(args)
 
 

@@ -132,6 +132,48 @@ class ResultCache:
             raise
         return path
 
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total bytes, and schema for ``repro-bbr cache info``."""
+        entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue  # Entry vanished mid-walk (concurrent clear).
+                entries += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "schema": CACHE_SCHEMA,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed.
+
+        Only sharded ``*.json`` entries are touched, so a mistakenly
+        configured root never loses unrelated files.  Emptied shard
+        directories are removed; the root itself is left in place.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed += 1
+        for shard in self.root.glob("??"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # Not empty (foreign files): leave it.
+        return removed
+
     def __contains__(self, fingerprint: str) -> bool:
         return self.path_for(fingerprint).exists()
 

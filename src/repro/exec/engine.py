@@ -25,6 +25,7 @@ sequential, cache-less engine.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from time import perf_counter
 from typing import (
@@ -128,6 +129,7 @@ class Engine:
         self.misses = 0
         self.simulated = 0
         self.cache_errors = 0
+        self.worker_failures = 0
 
     # -- telemetry ---------------------------------------------------------
 
@@ -146,6 +148,7 @@ class Engine:
             "cache_misses": self.misses,
             "simulated": self.simulated,
             "cache_errors": self.cache_errors,
+            "worker_failures": self.worker_failures,
         }
 
     def _notify(self) -> None:
@@ -188,14 +191,22 @@ class Engine:
 
     # -- execution ---------------------------------------------------------
 
-    def run_points(
+    def iter_points(
         self, points: Sequence[ScenarioPoint]
-    ) -> List["ScenarioResult"]:
-        """Resolve every point, in submission order.
+    ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
+        """Resolve points, yielding ``(index, result, wall_seconds)`` as
+        each one completes.
 
-        Cache hits are answered immediately; remaining distinct points
-        run inline (``jobs == 1``) or across worker processes.  All
-        points of a batch are resolved before this returns.
+        ``index`` is the point's position in the submitted sequence;
+        ``wall_seconds`` is the simulation time (0.0 for cache hits).
+        Cache hits are yielded first, in submission order, during the
+        initial scan; simulated points follow in completion order.
+        Duplicate points share one execution and yield once per index.
+
+        This is the checkpointing surface: callers that persist partial
+        progress (the campaign journal) consume this iterator so a
+        killed process loses at most the in-flight points — everything
+        already yielded has also been written to the result cache.
         """
         points = list(points)
         obs = self._resolve_obs()
@@ -205,7 +216,6 @@ class Engine:
 
         from repro.experiments.runner import ScenarioResult
 
-        results: List[Optional["ScenarioResult"]] = [None] * len(points)
         # fingerprint -> indices still waiting on it (duplicates share
         # one execution).
         pending: Dict[str, List[int]] = {}
@@ -218,9 +228,10 @@ class Engine:
                 continue
             payload = self._cache_lookup(fingerprint, obs)
             if payload is not None:
-                results[i] = ScenarioResult.from_dict(payload)
+                result = ScenarioResult.from_dict(payload)
                 self._account(hit=True, obs=obs)
                 self._notify()
+                yield i, result, 0.0
             else:
                 pending[fingerprint] = [i]
                 pending_points[fingerprint] = point
@@ -230,12 +241,40 @@ class Engine:
             fingerprint: str, result: "ScenarioResult", elapsed: float
         ) -> None:
             self._record_executed(fingerprint, result, elapsed, obs)
-            for idx in pending[fingerprint]:
-                results[idx] = result
             self._notify()
 
         if self.jobs > 1 and len(pending_points) > 1:
-            workers = min(self.jobs, len(pending_points))
+            yield from self._iter_parallel(
+                pending, pending_points, finish, obs
+            )
+        else:
+            for fingerprint, point in pending_points.items():
+                start = perf_counter()
+                # Inline execution keeps the caller's telemetry wiring.
+                result = _run_point(point, obs=obs)
+                elapsed = perf_counter() - start
+                finish(fingerprint, result, elapsed)
+                for idx in pending[fingerprint]:
+                    yield idx, result, elapsed
+
+    def _iter_parallel(
+        self,
+        pending: Dict[str, List[int]],
+        pending_points: Dict[str, ScenarioPoint],
+        finish: Callable[[str, "ScenarioResult", float], None],
+        obs: Any,
+    ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
+        """Fan distinct points out over workers, yielding completions.
+
+        A dead worker poisons the whole pool (``BrokenProcessPool``) and
+        would historically abort the batch, discarding every
+        completed-but-unprocessed result.  Instead the lost points are
+        retried inline exactly once and ``exec.worker_failures`` is
+        counted; a second failure (now in-process) propagates.
+        """
+        workers = min(self.jobs, len(pending_points))
+        remaining = dict(pending_points)
+        try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     pool.submit(_execute_point, point): fingerprint
@@ -248,14 +287,37 @@ class Engine:
                     )
                     for future in ready:
                         result, elapsed = future.result()
-                        finish(futures[future], result, elapsed)
-        else:
-            for fingerprint, point in pending_points.items():
+                        fingerprint = futures[future]
+                        finish(fingerprint, result, elapsed)
+                        del remaining[fingerprint]
+                        for idx in pending[fingerprint]:
+                            yield idx, result, elapsed
+        except BrokenProcessPool:
+            self.worker_failures += 1
+            if obs is not None:
+                obs.count("exec.worker_failures")
+            for fingerprint, point in list(remaining.items()):
                 start = perf_counter()
-                # Inline execution keeps the caller's telemetry wiring.
                 result = _run_point(point, obs=obs)
-                finish(fingerprint, result, perf_counter() - start)
+                elapsed = perf_counter() - start
+                finish(fingerprint, result, elapsed)
+                del remaining[fingerprint]
+                for idx in pending[fingerprint]:
+                    yield idx, result, elapsed
 
+    def run_points(
+        self, points: Sequence[ScenarioPoint]
+    ) -> List["ScenarioResult"]:
+        """Resolve every point, in submission order.
+
+        Cache hits are answered immediately; remaining distinct points
+        run inline (``jobs == 1``) or across worker processes.  All
+        points of a batch are resolved before this returns.
+        """
+        points = list(points)
+        results: List[Optional["ScenarioResult"]] = [None] * len(points)
+        for index, result, _elapsed in self.iter_points(points):
+            results[index] = result
         return results  # type: ignore[return-value]  # all filled above
 
     def run_mix(

@@ -431,16 +431,32 @@ def figure9(
 
     Quick mode uses 20 flows and bisection NE search (the paper uses 50
     flows and exhaustive enumeration over 10 trials).
+
+    The empirical sweep is *defined as* a campaign
+    (:func:`repro.campaign.studies.fig9_campaign`, also checked in at
+    ``examples/campaigns/fig9-ne-quick.toml``): the figure path and
+    ``repro-bbr campaign run`` execute the same units against the same
+    cache fingerprints.
     """
-    full = _check_scale(scale)
-    n_flows = 50 if full else 20
-    duration = 120.0 if full else 110.0
-    trials = 10 if full else 2
-    buffers = (
-        [0.5] + [float(b) for b in range(1, 51)]
-        if full
-        else [0.5, 2, 5, 10, 20, 35, 50]
+    # Deferred: repro.campaign imports repro.experiments for the scale
+    # presets, so the reverse edge must stay inside the function.
+    from repro.campaign.expand import expand_units
+    from repro.campaign.run import execute_units
+    from repro.campaign.studies import fig9_campaign
+
+    _check_scale(scale)
+    spec = fig9_campaign(
+        capacity_mbps=capacity_mbps,
+        rtt_ms=rtt_ms,
+        scale=scale,
+        seed=seed,
+        challenger=challenger,
     )
+    stage = spec.stages[0]
+    n_flows = stage.flows
+    buffer_axis = spec.axis("buffer_bdp")
+    assert buffer_axis is not None  # fig9_campaign always sweeps buffers.
+    buffers = list(buffer_axis.values)
     fig = FigureResult(
         figure_id=(
             f"fig9-{capacity_mbps:g}mbps-{rtt_ms:g}ms"
@@ -458,23 +474,14 @@ def figure9(
     fig.add("sync-bound", buffers, [p.n_cubic_sync for p in region])
     fig.add("desync-bound", buffers, [p.n_cubic_desync for p in region])
 
+    outcomes, _interrupted = execute_units(
+        spec, expand_units(spec), engine=engine
+    )
     observed_x, observed_y = [], []
-    for depth in buffers:
-        link = base.with_buffer_bdp(depth)
-        for trial in range(trials):
-            fn = distribution_throughput_fn(
-                link,
-                n_flows,
-                challenger=challenger,
-                duration=duration,
-                backend="fluid",
-                seed=seed + 7919 * trial,
-                engine=engine,
-            )
-            equilibria, _cache = bisect_nash(n_flows, fn)
-            for k in equilibria:
-                observed_x.append(depth)
-                observed_y.append(n_flows - k)
+    for outcome in outcomes:
+        for row in outcome.rows:
+            observed_x.append(row["buffer_bdp"])
+            observed_y.append(row["ne_incumbent"])
     fig.add("observed-ne", observed_x, observed_y)
     return fig
 

@@ -26,7 +26,13 @@ from repro.obs.bus import (
     use,
 )
 from repro.obs.export import TraceData, read_trace, tracer_samples, write_trace
-from repro.obs.manifest import SCHEMA, RunManifest, manifest_path_for
+from repro.obs.manifest import (
+    CAMPAIGN_SCHEMA,
+    SCHEMA,
+    CampaignManifest,
+    RunManifest,
+    manifest_path_for,
+)
 from repro.obs.report import FlowReport, RunReport, load_report
 
 __all__ = [
@@ -43,6 +49,8 @@ __all__ = [
     "tracer_samples",
     "write_trace",
     "SCHEMA",
+    "CAMPAIGN_SCHEMA",
+    "CampaignManifest",
     "RunManifest",
     "manifest_path_for",
     "FlowReport",

@@ -22,7 +22,16 @@ from repro.util.config import LinkConfig
 #: Manifest schema identifier; bump on incompatible changes.
 SCHEMA = "repro-obs/1"
 
-__all__ = ["RunManifest", "SCHEMA", "manifest_path_for"]
+#: Campaign manifest schema identifier.
+CAMPAIGN_SCHEMA = "repro-campaign/1"
+
+__all__ = [
+    "CampaignManifest",
+    "CAMPAIGN_SCHEMA",
+    "RunManifest",
+    "SCHEMA",
+    "manifest_path_for",
+]
 
 
 @dataclass
@@ -122,6 +131,76 @@ class RunManifest:
             if row.get("flow_id") == flow_id:
                 return row.get("cc")
         return None
+
+
+@dataclass
+class CampaignManifest:
+    """The JSON-serializable record of one completed campaign.
+
+    Written as ``manifest.json`` in the campaign output directory; the
+    ``fingerprint`` is the spec's content hash, so a manifest proves
+    which study produced a CSV even after the directory is moved.
+    """
+
+    schema: str
+    version: str
+    created_unix: float
+    spec_name: str
+    fingerprint: str
+    total_units: int
+    from_journal: int
+    executed: int
+    rows: int
+    wall_time_s: float
+    csv: str
+    exec_stats: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        spec_name: str,
+        fingerprint: str,
+        total_units: int,
+        from_journal: int,
+        executed: int,
+        rows: int,
+        wall_time_s: float,
+        csv: str,
+        exec_stats: Optional[Dict[str, int]] = None,
+    ) -> "CampaignManifest":
+        """Assemble a manifest from a finished campaign's counters."""
+        return cls(
+            schema=CAMPAIGN_SCHEMA,
+            version=__version__,
+            created_unix=time.time(),
+            spec_name=spec_name,
+            fingerprint=fingerprint,
+            total_units=total_units,
+            from_journal=from_journal,
+            executed=executed,
+            rows=rows,
+            wall_time_s=wall_time_s,
+            csv=csv,
+            exec_stats=exec_stats or {},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    def write(self, path: str) -> None:
+        """Write the manifest as pretty-printed JSON to ``path``."""
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignManifest":
+        """Read a manifest previously written with :meth:`write`."""
+        with open(path) as f:
+            data = json.load(f)
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 def manifest_path_for(trace_path: str) -> str:

@@ -250,7 +250,7 @@ def test_simulate_cache_dir_miss_then_hit(tmp_path, capsys):
     assert sim and sim == [l for l in warm.splitlines() if "Mbps/flow" in l]
 
 
-def test_simulate_no_cache_overrides_cache_dir(tmp_path, capsys):
+def test_simulate_no_cache_with_cache_dir_is_rejected(tmp_path, capsys):
     argv = [
         "simulate",
         "cubic:1",
@@ -261,10 +261,25 @@ def test_simulate_no_cache_overrides_cache_dir(tmp_path, capsys):
         str(tmp_path),
         "--no-cache",
     ]
-    assert main(argv) == 0
-    out = capsys.readouterr().out
-    assert "cache:" not in out
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "contradictory" in err
+    assert len(err.strip().splitlines()) == 1  # One-line diagnostic.
     assert not any(tmp_path.glob("??/*.json"))
+
+
+def test_no_cache_alone_still_works(capsys):
+    argv = [
+        "simulate",
+        "cubic:1",
+        "--mbps",
+        "20",
+        "--duration",
+        "5",
+        "--no-cache",
+    ]
+    assert main(argv) == 0
+    assert "cache:" not in capsys.readouterr().out
 
 
 def test_simulate_jobs_rejects_non_positive():
@@ -288,6 +303,185 @@ def test_figure_exec_summary_and_cache(tmp_path, capsys):
     assert main(argv) == 0
     out = capsys.readouterr().out
     assert "exec:" not in out
+
+
+SMOKE_SPEC = """\
+name = "cli-smoke"
+[link]
+bandwidth_mbps = 20.0
+rtt_ms = 20.0
+buffer_bdp = 1.0
+[defaults]
+duration = 5.0
+backend = "fluid"
+mix = "cubic:1,bbr:1"
+[[axes]]
+name = "buffer_bdp"
+values = [1, 2, 3]
+"""
+
+
+def _write_smoke_spec(tmp_path):
+    spec = tmp_path / "smoke.toml"
+    spec.write_text(SMOKE_SPEC)
+    return spec
+
+
+def test_campaign_validate_ok(tmp_path, capsys):
+    spec = _write_smoke_spec(tmp_path)
+    assert main(["campaign", "validate", str(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "units: 3" in out
+
+
+def test_campaign_validate_missing_axis(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('name = "x"\n[defaults]\nmix = "cubic:1"\n')
+    assert main(["campaign", "validate", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "campaign error:" in err
+    assert "no axes" in err
+    assert len(err.strip().splitlines()) == 1  # One line, no traceback.
+
+
+def test_campaign_validate_bad_cca(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text(
+        'name = "x"\n'
+        '[defaults]\nmix = "quic:1"\n'
+        '[[axes]]\nname = "buffer_bdp"\nvalues = [1]\n'
+    )
+    assert main(["campaign", "validate", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown congestion control" in err
+    assert "quic" in err
+
+
+def test_campaign_validate_missing_file(tmp_path, capsys):
+    assert main(["campaign", "validate", str(tmp_path / "nope.toml")]) == 2
+    assert "no such spec file" in capsys.readouterr().err
+
+
+def test_campaign_run_resume_status_cycle(tmp_path, capsys):
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    cache = tmp_path / "cache"
+    argv_tail = ["--out", str(out_dir), "--cache-dir", str(cache)]
+
+    # Interrupt after 2 of 3 units: exit 3, journal present, no CSV.
+    code = main(
+        ["campaign", "run", str(spec), "--stop-after", "2", *argv_tail]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "resume with" in captured.out
+    assert (out_dir / "journal.jsonl").exists()
+    assert not (out_dir / "results.csv").exists()
+
+    assert main(["campaign", "status", str(out_dir)]) == 0
+    status = capsys.readouterr().out
+    assert "resumable" in status
+    assert "2/3 completed" in status
+
+    # Resume: only the missing unit executes.
+    code = main(
+        ["campaign", "resume", str(out_dir), "--cache-dir", str(cache)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 from journal" in out
+    assert "1 executed" in out
+    assert (out_dir / "results.csv").exists()
+    assert (out_dir / "manifest.json").exists()
+
+    assert main(["campaign", "status", str(out_dir)]) == 0
+    assert "complete" in capsys.readouterr().out
+
+
+def test_campaign_run_refuses_existing_journal(tmp_path, capsys):
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    assert (
+        main(
+            [
+                "campaign",
+                "run",
+                str(spec),
+                "--out",
+                str(out_dir),
+                "--stop-after",
+                "1",
+            ]
+        )
+        == 3
+    )
+    capsys.readouterr()
+    assert (
+        main(["campaign", "run", str(spec), "--out", str(out_dir)]) == 2
+    )
+    assert "campaign resume" in capsys.readouterr().err
+
+
+def test_campaign_resume_without_journal(tmp_path, capsys):
+    assert main(["campaign", "resume", str(tmp_path)]) == 2
+    assert "not a campaign directory" in capsys.readouterr().err
+
+
+def test_campaign_run_no_cache_with_cache_dir_rejected(tmp_path, capsys):
+    spec = _write_smoke_spec(tmp_path)
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec),
+            "--out",
+            str(tmp_path / "camp"),
+            "--no-cache",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 2
+    assert "contradictory" in capsys.readouterr().err
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 0" in out
+
+    main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "5",
+            "--cache-dir",
+            str(cache),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 1" in out
+    assert "schema: 1" in out
+
+    assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+    assert "entries: 0" in capsys.readouterr().out
+
+
+def test_list_includes_bundled_campaigns(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "campaigns:" in out
+    assert "fig9-ne-quick.toml" in out
+    assert "fairness-grid-3axis.toml" in out
 
 
 def test_figure_cached_rerun_reuses_points(tmp_path, capsys):

@@ -343,3 +343,56 @@ def test_group_payoff_fn_cached(tmp_path):
     # Validation still happens before the cache is consulted.
     with pytest.raises(ValueError):
         group_payoff_fn(link(), engine=warm, **kwargs)((3, 0))
+
+
+# -- worker-death hardening --------------------------------------------------
+
+
+def _die_in_worker(point):
+    """Replacement worker entry that kills the process abruptly."""
+    import os
+
+    os._exit(13)
+
+
+def test_broken_pool_retries_lost_points_inline(monkeypatch):
+    """A dead worker poisons the pool; the batch must still complete."""
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("monkeypatched worker entry needs fork start method")
+
+    batch = points(3, duration=5.0)
+    expected = Engine().run_points(batch)
+
+    engine = Engine(jobs=2)
+    monkeypatch.setattr(engine_mod, "_execute_point", _die_in_worker)
+    obs = Telemetry()
+    engine._obs = obs
+    results = engine.run_points(batch)
+
+    assert engine.worker_failures == 1
+    assert engine.stats["worker_failures"] == 1
+    assert obs.snapshot()["counters"].get("exec.worker_failures") == 1
+    # Every point was recovered inline with identical numbers.
+    assert [r.to_dict() for r in results] == [
+        r.to_dict() for r in expected
+    ]
+
+
+def test_broken_pool_results_cached_after_retry(tmp_path, monkeypatch):
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("monkeypatched worker entry needs fork start method")
+
+    batch = points(2, duration=5.0)
+    engine = Engine(jobs=2, cache=ResultCache(tmp_path))
+    monkeypatch.setattr(engine_mod, "_execute_point", _die_in_worker)
+    engine.run_points(batch)
+    assert engine.worker_failures == 1
+
+    warm = Engine(cache=ResultCache(tmp_path))
+    warm.run_points(batch)
+    assert warm.stats["simulated"] == 0
+    assert warm.stats["cache_hits"] == 2
