@@ -6,7 +6,6 @@ and to CUBIC's backoff parameter, and measure where the fluid
 simulator's emergent synchronization lands between the §2.4 bounds.
 """
 
-import pytest
 
 from repro.core.nash import predict_nash
 from repro.core.two_flow import predict_two_flow, solve_bbr_buffer_share

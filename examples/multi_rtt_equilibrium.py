@@ -21,7 +21,8 @@ def main() -> None:
     # Buffer normalized to the shortest RTT's BDP, as in the paper.
     link = LinkConfig.from_mbps_ms(100, 10, buffer_bdp=10)
     print(f"bottleneck: {link.describe()}")
-    print(f"flow classes: {[f'{r * 1e3:g}ms x{s}' for r, s in zip(rtts, sizes)]}\n")
+    classes = [f"{r * 1e3:g}ms x{s}" for r, s in zip(rtts, sizes)]
+    print(f"flow classes: {classes}\n")
 
     payoff = group_payoff_fn(link, rtts, sizes, duration=90, seed=1)
     game = GroupGame(

@@ -27,7 +27,7 @@ actionable message naming the offending field.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -461,7 +461,9 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
             raise SpecError(f"{source}: [link] has unknown key {key!r}")
     try:
         link = LinkConfig.from_mbps_ms(
-            _get_number(link_table, "bandwidth_mbps", 100.0, f"{source}: link"),
+            _get_number(
+                link_table, "bandwidth_mbps", 100.0, f"{source}: link"
+            ),
             _get_number(link_table, "rtt_ms", 40.0, f"{source}: link"),
             _get_number(link_table, "buffer_bdp", 5.0, f"{source}: link"),
             mss=_get_int(link_table, "mss", 1500, f"{source}: link"),

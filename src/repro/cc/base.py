@@ -19,16 +19,20 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.cc.laws.base import INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS
 from repro.cc.signals import LossEvent, RateSample
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.bus import Telemetry
 
-#: Initial congestion window, in segments (RFC 6928).
-INITIAL_CWND_SEGMENTS = 10
-
-#: Floor on the congestion window, in segments.
-MIN_CWND_SEGMENTS = 2
+__all__ = [
+    "CongestionControl",
+    "INITIAL_CWND_SEGMENTS",
+    "MIN_CWND_SEGMENTS",
+    "available_algorithms",
+    "make_controller",
+    "register",
+]
 
 
 class CongestionControl(abc.ABC):
@@ -128,16 +132,33 @@ def register(name: str) -> Callable[[type], type]:
 
 
 def make_controller(name: str, **kwargs: object) -> CongestionControl:
-    """Instantiate a registered controller by name (case-insensitive)."""
+    """Instantiate a controller by name (case-insensitive).
+
+    Canonical algorithms resolve through the ``repro.cc.laws`` registry;
+    controllers registered only via :func:`register` (e.g. third-party
+    or test doubles) are found as a fallback.
+    """
+    from repro.cc.laws import registry as laws_registry
+
     key = name.lower()
-    if key not in _REGISTRY:
-        raise KeyError(
-            f"unknown congestion control {name!r}; "
-            f"available: {sorted(_REGISTRY)}"
-        )
-    return _REGISTRY[key](**kwargs)
+    spec = laws_registry.ALGORITHMS.get(key)
+    if spec is not None and spec.packet is not None:
+        return laws_registry.packet_class(key)(**kwargs)
+    if key in _REGISTRY:
+        return _REGISTRY[key](**kwargs)
+    raise KeyError(
+        f"unknown congestion control {name!r}; "
+        f"available: {available_algorithms()}"
+    )
 
 
 def available_algorithms() -> List[str]:
-    """Names of all registered congestion control algorithms."""
-    return sorted(_REGISTRY)
+    """Names of all packet-substrate congestion control algorithms."""
+    from repro.cc.laws import registry as laws_registry
+
+    canonical = {
+        n
+        for n in laws_registry.canonical_names()
+        if laws_registry.ALGORITHMS[n].packet is not None
+    }
+    return sorted(canonical | set(_REGISTRY))

@@ -1,60 +1,37 @@
-"""BBR (v1) congestion control — the four-state machine of §2.1.
+"""BBR (v1) per-ACK adapter over :mod:`repro.cc.laws.bbr`.
 
-Re-implemented from the BBR paper (Cardwell et al., CACM 2017) and
-draft-cardwell-iccrg-bbr-congestion-control:
-
-* **STARTUP** — exponential search with pacing gain 2/ln 2 ≈ 2.885; exits
-  when the bandwidth estimate stops growing ≥25% per round for three
-  consecutive rounds ("full pipe").
-* **DRAIN**   — inverse gain until in-flight ≤ 1 estimated BDP.
-* **PROBE_BW** — 8-phase gain cycle [1.25, 0.75, 1, 1, 1, 1, 1, 1], one
-  phase per RTprop.
-* **PROBE_RTT** — every 10 s, reduce cwnd to 4 packets for at least 200 ms
-  to drain the queue and refresh the RTT_min estimate.
+The four-state machine, gain tables, and estimator kernels live in the
+law module (shared with the fluid-model adapter
+:class:`repro.fluidsim.flows.FluidBBR`); this class wires them to the
+packet simulator's per-ACK :class:`~repro.cc.signals.RateSample` stream.
 
 The bandwidth estimate is a windowed max over the last 10 packet-timed
-rounds of delivery-rate samples; RTprop is a windowed min over 10 seconds.
-The in-flight data is capped at ``cwnd_gain (=2) × estimated BDP`` — the
-property the paper's model depends on (assumption 2 of §2.3): when
-competing with CUBIC, RTprop is over-estimated by CUBIC's minimum buffer
-occupancy, so this cap is what actually governs BBR's send rate.
-
-BBRv1 is loss-agnostic (assumption 4): ``on_loss`` does nothing.
+rounds of delivery-rate samples; RTprop is a windowed min over 10
+seconds.  In-flight data is capped at ``cwnd_gain (=2) × estimated
+BDP`` — the property the paper's model depends on (assumption 2 of
+§2.3).  BBRv1 is loss-agnostic (assumption 4): ``on_loss`` does
+nothing.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import bbr as laws
+from repro.cc.laws.bbr import (  # noqa: F401 (canonical law re-exports)
+    BTLBW_FILTER_ROUNDS,
+    CWND_GAIN,
+    DRAIN,
+    GAIN_CYCLE,
+    HIGH_GAIN,
+    PROBE_BW,
+    PROBE_RTT,
+    PROBE_RTT_CWND_SEGMENTS,
+    PROBE_RTT_DURATION,
+    RTPROP_FILTER_LEN,
+    STARTUP,
+)
 from repro.cc.signals import LossEvent, RateSample
 from repro.util.filters import WindowedMax
-
-#: STARTUP/DRAIN gain: 2/ln(2), enough to double the sending rate per round.
-HIGH_GAIN = 2.0 / 0.6931471805599453
-
-#: PROBE_BW pacing-gain cycle (one phase per RTprop).
-GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
-
-#: cwnd gain outside STARTUP: in-flight cap of 2 × estimated BDP.
-CWND_GAIN = 2.0
-
-#: Bandwidth filter window, in packet-timed rounds.
-BTLBW_FILTER_ROUNDS = 10
-
-#: RTprop filter window and ProbeRTT cadence, seconds.
-RTPROP_FILTER_LEN = 10.0
-
-#: Minimum time spent in PROBE_RTT, seconds.
-PROBE_RTT_DURATION = 0.2
-
-#: cwnd during PROBE_RTT, in packets.
-PROBE_RTT_CWND_SEGMENTS = 4
-
-STARTUP = "STARTUP"
-DRAIN = "DRAIN"
-PROBE_BW = "PROBE_BW"
-PROBE_RTT = "PROBE_RTT"
 
 
 @register("bbr")
@@ -71,26 +48,13 @@ class BBRv1(CongestionControl):
         self.cwnd_gain = HIGH_GAIN
 
         self._btl_bw_filter = WindowedMax(BTLBW_FILTER_ROUNDS)
-        self.rtprop: Optional[float] = None
-        self._rtprop_stamp = 0.0
-        self._rtprop_expired = False
-
-        # Packet-timed round accounting (as in the draft).
-        self._round_count = 0
-        self._next_round_delivered = 0
-        self._round_start = False
-
-        # STARTUP full-pipe detection.
-        self._full_bw = 0.0
-        self._full_bw_count = 0
-        self.full_pipe = False
-
-        # PROBE_BW gain cycling.
-        self._cycle_index = 0
-        self._cycle_stamp = 0.0
+        self._rtprop = laws.RtPropTracker()
+        self._rounds = laws.RoundCounter()
+        self._full_pipe = laws.FullPipeDetector()
+        self._cycler = laws.GainCycler()
 
         # PROBE_RTT bookkeeping.
-        self._probe_rtt_done_stamp: Optional[float] = None
+        self._probe_rtt_done_stamp: float | None = None
         self._probe_rtt_round_done = False
         self._prior_cwnd = self.cwnd
 
@@ -104,6 +68,16 @@ class BBRv1(CongestionControl):
         value = self._btl_bw_filter.get()
         return value if value is not None else 0.0
 
+    @property
+    def rtprop(self) -> float | None:
+        """Current RTprop estimate in seconds; None before any sample."""
+        return self._rtprop.rtprop
+
+    @property
+    def full_pipe(self) -> bool:
+        """True once STARTUP's bandwidth-plateau exit has fired."""
+        return self._full_pipe.full
+
     def bdp(self, gain: float = 1.0) -> float:
         """``gain × btl_bw × RTprop`` in bytes; 0 before any estimates."""
         if self.rtprop is None:
@@ -114,18 +88,19 @@ class BBRv1(CongestionControl):
 
     def on_ack(self, sample: RateSample) -> None:
         now = sample.now
-        self._update_round(sample)
+        self._rounds.update(sample.delivered, sample.delivered_at_send)
         self._update_btl_bw(sample)
-        self._update_rtprop(sample)
+        self._rtprop.update(now, sample.rtt)
 
         if self.state == STARTUP:
-            self._check_full_pipe()
+            if self._rounds.round_start:
+                self._full_pipe.update(self.btl_bw)
             if self.full_pipe:
                 self._enter_drain(now)
         if self.state == DRAIN and sample.in_flight <= self.bdp():
             self._enter_probe_bw(now)
         if self.state == PROBE_BW:
-            self._advance_cycle_phase(now)
+            self.pacing_gain = self._cycler.advance(now, self.rtprop)
 
         self._check_probe_rtt(now, sample)
         self._set_pacing_rate()
@@ -136,49 +111,15 @@ class BBRv1(CongestionControl):
 
     # -- estimator updates ---------------------------------------------------
 
-    def _update_round(self, sample: RateSample) -> None:
-        # A "packet-timed round" elapses when a packet sent after the start
-        # of the current round is ACKed (draft §4.1.1.3).
-        self._round_start = False
-        if sample.delivered_at_send >= self._next_round_delivered:
-            self._next_round_delivered = sample.delivered
-            self._round_count += 1
-            self._round_start = True
-
     def _update_btl_bw(self, sample: RateSample) -> None:
         if sample.delivery_rate <= 0:
             return
         if not sample.is_app_limited or sample.delivery_rate > self.btl_bw:
             self._btl_bw_filter.update(
-                self._round_count, sample.delivery_rate
+                self._rounds.count, sample.delivery_rate
             )
 
-    def _update_rtprop(self, sample: RateSample) -> None:
-        now = sample.now
-        self._rtprop_expired = (
-            self.rtprop is not None
-            and now - self._rtprop_stamp > RTPROP_FILTER_LEN
-        )
-        if (
-            self.rtprop is None
-            or sample.rtt <= self.rtprop
-            or self._rtprop_expired
-        ):
-            self.rtprop = sample.rtt
-            self._rtprop_stamp = now
-
-    # -- state transitions -----------------------------------------------------
-
-    def _check_full_pipe(self) -> None:
-        if self.full_pipe or not self._round_start:
-            return
-        if self.btl_bw >= self._full_bw * 1.25:
-            self._full_bw = self.btl_bw
-            self._full_bw_count = 0
-            return
-        self._full_bw_count += 1
-        if self._full_bw_count >= 3:
-            self.full_pipe = True
+    # -- state transitions ----------------------------------------------------
 
     def _enter_drain(self, now: float) -> None:
         self.emit_state(now, self.state, DRAIN)
@@ -190,22 +131,11 @@ class BBRv1(CongestionControl):
         self.emit_state(now, self.state, PROBE_BW)
         self.state = PROBE_BW
         self.cwnd_gain = CWND_GAIN
-        # Start in a neutral phase (index 2) so we do not probe immediately
-        # after draining.
-        self._cycle_index = 2
-        self._cycle_stamp = now
-        self.pacing_gain = GAIN_CYCLE[self._cycle_index]
-
-    def _advance_cycle_phase(self, now: float) -> None:
-        if self.rtprop is None:
-            return
-        if now - self._cycle_stamp > self.rtprop:
-            self._cycle_index = (self._cycle_index + 1) % len(GAIN_CYCLE)
-            self._cycle_stamp = now
-            self.pacing_gain = GAIN_CYCLE[self._cycle_index]
+        self._cycler.reset(now)
+        self.pacing_gain = self._cycler.gain
 
     def _check_probe_rtt(self, now: float, sample: RateSample) -> None:
-        if self.state != PROBE_RTT and self._rtprop_expired:
+        if self.state != PROBE_RTT and self._rtprop.expired:
             self._enter_probe_rtt(now)
         if self.state == PROBE_RTT:
             self._handle_probe_rtt(now, sample)
@@ -227,9 +157,9 @@ class BBRv1(CongestionControl):
             # The queue contribution has drained; start the 200 ms dwell.
             self._probe_rtt_done_stamp = now + PROBE_RTT_DURATION
             self._probe_rtt_round_done = False
-            self._next_round_delivered = sample.delivered
+            self._rounds.next_delivered = sample.delivered
         elif self._probe_rtt_done_stamp is not None:
-            if self._round_start:
+            if self._rounds.round_start:
                 self._probe_rtt_round_done = True
             if (
                 self._probe_rtt_round_done
@@ -238,7 +168,7 @@ class BBRv1(CongestionControl):
                 self._exit_probe_rtt(now)
 
     def _exit_probe_rtt(self, now: float) -> None:
-        self._rtprop_stamp = now
+        self._rtprop.stamp = now
         self.cwnd = max(self.cwnd, self._prior_cwnd)
         if self.full_pipe:
             self._enter_probe_bw(now)
@@ -248,7 +178,7 @@ class BBRv1(CongestionControl):
             self.pacing_gain = HIGH_GAIN
             self.cwnd_gain = HIGH_GAIN
 
-    # -- control outputs ----------------------------------------------------------
+    # -- control outputs ------------------------------------------------------
 
     def _set_pacing_rate(self) -> None:
         bw = self.btl_bw

@@ -1,62 +1,40 @@
-"""BBRv2 congestion control (simplified from the IETF-104 iccrg update).
+"""BBRv2 per-ACK adapter over :mod:`repro.cc.laws.bbr2`.
 
-BBRv2 keeps BBRv1's model-based skeleton (bandwidth and RTprop estimators,
-a PROBE_BW cycle, periodic RTT probing) but is "a less aggressive
-alternative" (§4.6 of the paper): it *reacts to packet loss* by maintaining
-an upper bound ``inflight_hi`` on in-flight data, cut multiplicatively
-(β = 0.3) when a round's loss rate exceeds ``LOSS_THRESH``, and it cruises
-with 15% headroom below that bound.  Its PROBE_BW cycle is the four-phase
-DOWN → CRUISE → REFILL → UP sequence, and ProbeRTT is gentler than v1's
-(cwnd floor of 0.5 × BDP rather than 4 packets, every 5 s).
-
-This implementation captures the behaviours the paper's §4.6 experiments
-depend on: bounded aggression against loss-based flows (more CUBIC flows
-at the Nash Equilibrium) while still claiming a disproportionate share
-when BBRv2 flows are few.
+The loss-response law (β-cut ``inflight_hi`` bound, cruise headroom),
+phase gains, and probing cadences live in the law module (shared with
+:class:`repro.fluidsim.flows.FluidBBR2`); the v1 estimator kernels
+(rounds, RTprop, full-pipe detection) come from
+:mod:`repro.cc.laws.bbr`.  This class wires both to the packet
+simulator's per-ACK sample stream and implements the four-phase
+DOWN → CRUISE → REFILL → UP cycle plus the gentler ProbeRTT (cwnd
+floor of 0.5 × BDP rather than 4 packets, every 5 s).
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import bbr as v1_laws
+from repro.cc.laws import bbr2 as laws
+from repro.cc.laws.bbr2 import (  # noqa: F401 (canonical law re-exports)
+    BETA,
+    BW_FILTER_ROUNDS,
+    CRUISE,
+    CRUISE_INTERVAL,
+    DRAIN,
+    HEADROOM,
+    LOSS_THRESH,
+    PROBE_DOWN,
+    PROBE_RTT,
+    PROBE_RTT_DURATION,
+    PROBE_RTT_INTERVAL,
+    PROBE_UP,
+    REFILL,
+    RTPROP_FILTER_LEN,
+    STARTUP,
+    STARTUP_GAIN,
+)
 from repro.cc.signals import LossEvent, RateSample
 from repro.util.filters import WindowedMax
-
-#: STARTUP pacing gain (BBRv2 uses 2.77).
-STARTUP_GAIN = 2.77
-
-#: Loss rate per round above which inflight_hi is cut.
-LOSS_THRESH = 0.02
-
-#: Multiplicative cut applied to inflight_hi on an over-threshold round.
-BETA = 0.3
-
-#: Headroom kept below inflight_hi while cruising.
-HEADROOM = 0.85
-
-#: ProbeRTT cadence (seconds); BBRv2 probes more often than v1.
-PROBE_RTT_INTERVAL = 5.0
-
-#: Minimum time spent in ProbeRTT (seconds).
-PROBE_RTT_DURATION = 0.2
-
-#: Time spent cruising before the next bandwidth probe (seconds).
-CRUISE_INTERVAL = 2.5
-
-#: Bandwidth filter window, packet-timed rounds.
-BW_FILTER_ROUNDS = 10
-
-#: RTprop filter window (seconds).
-RTPROP_FILTER_LEN = 10.0
-
-STARTUP = "STARTUP"
-DRAIN = "DRAIN"
-PROBE_DOWN = "PROBE_DOWN"
-CRUISE = "CRUISE"
-REFILL = "REFILL"
-PROBE_UP = "PROBE_UP"
-PROBE_RTT = "PROBE_RTT"
 
 
 @register("bbr2")
@@ -73,23 +51,16 @@ class BBRv2(CongestionControl):
         self.cwnd_gain = 2.0
 
         self._bw_filter = WindowedMax(BW_FILTER_ROUNDS)
-        self.rtprop: Optional[float] = None
-        self._rtprop_stamp = 0.0
-
-        self._round_count = 0
-        self._next_round_delivered = 0
-        self._round_start = False
-
-        self._full_bw = 0.0
-        self._full_bw_count = 0
-        self.full_pipe = False
+        self._rtprop = v1_laws.RtPropTracker()
+        self._rounds = v1_laws.RoundCounter()
+        self._full_pipe = v1_laws.FullPipeDetector()
 
         self.inflight_hi = float("inf")
         self._round_lost_bytes = 0
         self._round_delivered_bytes = 0
 
         self._phase_stamp = 0.0
-        self._probe_rtt_done_stamp: Optional[float] = None
+        self._probe_rtt_done_stamp: float | None = None
         self._prior_cwnd = self.cwnd
 
         self.pacing_rate = None
@@ -102,25 +73,39 @@ class BBRv2(CongestionControl):
         value = self._bw_filter.get()
         return value if value is not None else 0.0
 
+    @property
+    def rtprop(self) -> float | None:
+        """Current RTprop estimate in seconds; None before any sample."""
+        return self._rtprop.rtprop
+
+    @property
+    def full_pipe(self) -> bool:
+        """True once STARTUP has ended (plateau or startup loss)."""
+        return self._full_pipe.full
+
+    @full_pipe.setter
+    def full_pipe(self, value: bool) -> None:
+        self._full_pipe.full = value
+
     def bdp(self, gain: float = 1.0) -> float:
         """``gain × bw × RTprop`` in bytes; 0 before any estimates."""
         if self.rtprop is None:
             return 0.0
         return gain * self.bw * self.rtprop
 
-    # -- CongestionControl interface -------------------------------------------
+    # -- CongestionControl interface ------------------------------------------
 
     def on_ack(self, sample: RateSample) -> None:
         now = sample.now
-        self._update_round(sample)
+        self._rounds.update(sample.delivered, sample.delivered_at_send)
         if sample.delivery_rate > 0 and (
             not sample.is_app_limited or sample.delivery_rate > self.bw
         ):
-            self._bw_filter.update(self._round_count, sample.delivery_rate)
-        self._update_rtprop(sample)
+            self._bw_filter.update(self._rounds.count, sample.delivery_rate)
+        self._rtprop.update(now, sample.rtt)
         self._round_delivered_bytes += sample.acked_bytes
 
-        if self._round_start:
+        if self._rounds.round_start:
             self._on_round_end(now, sample)
 
         self._advance_state_machine(now, sample)
@@ -135,56 +120,39 @@ class BBRv2(CongestionControl):
             )
             self.full_pipe = True
 
-    # -- bookkeeping ------------------------------------------------------------
-
-    def _update_round(self, sample: RateSample) -> None:
-        self._round_start = False
-        if sample.delivered_at_send >= self._next_round_delivered:
-            self._next_round_delivered = sample.delivered
-            self._round_count += 1
-            self._round_start = True
-
-    def _update_rtprop(self, sample: RateSample) -> None:
-        now = sample.now
-        expired = (
-            self.rtprop is not None
-            and now - self._rtprop_stamp > RTPROP_FILTER_LEN
-        )
-        if self.rtprop is None or sample.rtt <= self.rtprop or expired:
-            self.rtprop = sample.rtt
-            self._rtprop_stamp = now
+    # -- bookkeeping ----------------------------------------------------------
 
     def _on_round_end(self, now: float, sample: RateSample) -> None:
-        total = self._round_delivered_bytes + self._round_lost_bytes
-        if total > 0:
-            loss_rate = self._round_lost_bytes / total
-            if loss_rate > LOSS_THRESH:
-                # Loss says the path cannot sustain this much in flight.
-                reference = max(
-                    sample.in_flight + self._round_lost_bytes, self.min_cwnd
-                )
-                bound = min(self.inflight_hi, reference)
-                self.inflight_hi = max(
-                    bound * (1.0 - BETA), self.min_cwnd
-                )
-                self.emit(
-                    "cc.backoff",
-                    now,
-                    kind="inflight_hi_cut",
-                    beta=BETA,
-                    loss_rate=loss_rate,
-                    inflight_hi=self.inflight_hi,
-                )
-                if self.state == PROBE_UP:
-                    self._enter_phase(PROBE_DOWN, now)
+        loss_rate = laws.loss_rate(
+            self._round_lost_bytes, self._round_delivered_bytes
+        )
+        if loss_rate > LOSS_THRESH:
+            # Loss says the path cannot sustain this much in flight.
+            reference = max(
+                sample.in_flight + self._round_lost_bytes, self.min_cwnd
+            )
+            self.inflight_hi = laws.cut_inflight_hi(
+                self.inflight_hi, reference, self.min_cwnd
+            )
+            self.emit(
+                "cc.backoff",
+                now,
+                kind="inflight_hi_cut",
+                beta=BETA,
+                loss_rate=loss_rate,
+                inflight_hi=self.inflight_hi,
+            )
+            if self.state == PROBE_UP:
+                self._enter_phase(PROBE_DOWN, now)
         self._round_lost_bytes = 0
         self._round_delivered_bytes = 0
 
-    # -- state machine ---------------------------------------------------------
+    # -- state machine --------------------------------------------------------
 
     def _advance_state_machine(self, now: float, sample: RateSample) -> None:
         if self.state == STARTUP:
-            self._check_full_pipe()
+            if self._rounds.round_start:
+                self._full_pipe.update(self.bw)
             if self.full_pipe:
                 self.emit_state(now, self.state, DRAIN)
                 self.state = DRAIN
@@ -217,30 +185,14 @@ class BBRv2(CongestionControl):
             self.emit_state(now, self.state, phase)
         self.state = phase
         self._phase_stamp = now
-        self.pacing_gain = {
-            PROBE_DOWN: 0.9,
-            CRUISE: 1.0,
-            REFILL: 1.0,
-            PROBE_UP: 1.25,
-        }.get(phase, 1.0)
+        self.pacing_gain = laws.PHASE_GAINS.get(phase, 1.0)
         self.cwnd_gain = 2.0
-
-    def _check_full_pipe(self) -> None:
-        if self.full_pipe or not self._round_start:
-            return
-        if self.bw >= self._full_bw * 1.25:
-            self._full_bw = self.bw
-            self._full_bw_count = 0
-            return
-        self._full_bw_count += 1
-        if self._full_bw_count >= 3:
-            self.full_pipe = True
 
     def _check_probe_rtt(self, now: float, sample: RateSample) -> None:
         if (
             self.state != PROBE_RTT
             and self.state != STARTUP
-            and now - self._rtprop_stamp > PROBE_RTT_INTERVAL
+            and now - self._rtprop.stamp > PROBE_RTT_INTERVAL
         ):
             self.emit_state(now, self.state, PROBE_RTT)
             self.state = PROBE_RTT
@@ -258,11 +210,11 @@ class BBRv2(CongestionControl):
                 self._probe_rtt_done_stamp is not None
                 and now >= self._probe_rtt_done_stamp
             ):
-                self._rtprop_stamp = now
+                self._rtprop.stamp = now
                 self.cwnd = max(self.cwnd, self._prior_cwnd)
                 self._enter_phase(PROBE_DOWN, now)
 
-    # -- control outputs ----------------------------------------------------------
+    # -- control outputs ------------------------------------------------------
 
     def _set_outputs(self, sample: RateSample) -> None:
         bw = self.bw

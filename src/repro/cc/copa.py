@@ -1,34 +1,30 @@
-"""Copa congestion control (Arun & Balakrishnan, NSDI 2018).
+"""Copa per-ACK adapter over :mod:`repro.cc.laws.copa`.
 
-Copa targets a sending rate of ``1 / (δ · d_q)`` packets per second, where
-``d_q`` is the queuing delay measured as ``RTT_standing − RTT_min``.  The
-window moves toward the target with a velocity parameter that doubles when
-successive adjustments agree in direction.
-
-The paper's Figure 7 finds that Copa (in its default mode) obtains *lower*
-than fair-share throughput against CUBIC for every distribution — it lacks
-the "disproportionate share when few" property that creates a mixed Nash
-Equilibrium, so the paper expects no interior NE for Copa.  Copa's optional
-*competitive mode* (which detects non-Copa competitors and shrinks δ) is
-implemented behind a flag, default off, matching that observation.
+The delta/target-rate law and velocity rules live in the law module
+(shared with :class:`repro.fluidsim.flows.FluidCopa`); this class
+measures queuing delay as ``RTT_standing − RTT_min`` from per-ACK
+samples, moves the window toward the target with the velocity
+parameter, and paces at ``2 × cwnd / RTT_standing``.  Copa's optional
+*competitive mode* (detect non-Copa competitors and shrink δ) is
+implemented behind a flag, default off, matching the paper's Figure 7
+observation that default-mode Copa lacks an interior Nash Equilibrium.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import copa as laws
+from repro.cc.laws.base import CongestionEventGate, smooth_rtt
+from repro.cc.laws.copa import (  # noqa: F401 (canonical law re-exports)
+    DEFAULT_DELTA,
+    MIN_DELTA,
+    RTT_MIN_WINDOW,
+)
 from repro.cc.signals import LossEvent, RateSample
 from repro.util.filters import WindowedMin
-
-#: Default delta: trade-off between delay and throughput (default mode).
-DEFAULT_DELTA = 0.5
-
-#: Smallest delta reachable in competitive mode.
-MIN_DELTA = 0.04
-
-#: RTT_min filter window, seconds.
-RTT_MIN_WINDOW = 10.0
 
 
 @register("copa")
@@ -65,20 +61,17 @@ class Copa(CongestionControl):
         self._direction = 0  # +1 opening, -1 closing.
         self._same_direction_count = 0
         self._last_update_time = 0.0
-        self._last_cwnd_double: Optional[float] = None
 
         # Competitive-mode estimator: time since the queue last looked empty.
         self._last_empty_queue_time = 0.0
-        self._last_loss: Optional[float] = None
+        self._loss_gate = CongestionEventGate()
 
     # -- CongestionControl interface ------------------------------------------
 
     def on_ack(self, sample: RateSample) -> None:
         now = sample.now
         rtt = sample.rtt
-        self._srtt = (
-            rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, rtt)
         rtt_min = self._rtt_min_filter.update(now, rtt)
 
         # RTT_standing: min RTT over the most recent srtt/2.
@@ -96,11 +89,9 @@ class Copa(CongestionControl):
         if self.competitive_mode:
             self._update_mode(now, queuing_delay, rtt_min)
 
-        if queuing_delay <= 1e-9:
-            target_rate = float("inf")
+        target_rate = laws.target_rate(self.mss, self.delta, queuing_delay)
+        if math.isinf(target_rate):
             self._last_empty_queue_time = now
-        else:
-            target_rate = self.mss / (self.delta * queuing_delay)
         current_rate = self.cwnd / max(rtt_standing, 1e-9)
 
         self._update_velocity(now)
@@ -132,8 +123,8 @@ class Copa(CongestionControl):
         self._last_update_time = now
         if self._direction != 0:
             self._same_direction_count += 1
-            if self._same_direction_count >= 3:
-                self.velocity = min(self.velocity * 2.0, 1e6)
+            if self._same_direction_count >= laws.VELOCITY_DOUBLE_ROUNDS:
+                self.velocity = laws.double_velocity(self.velocity)
         else:
             self._same_direction_count = 0
 
@@ -171,23 +162,17 @@ class Copa(CongestionControl):
 
     def on_loss(self, event: LossEvent) -> None:
         # Copa reduces its window on loss like an AIMD flow (Copa paper §2).
-        if self._srtt is not None and (
-            event.now - self._last_loss_time() < self._srtt
-        ):
+        if not self._loss_gate.admit(event.now, self._srtt):
             return
-        self._last_loss = event.now
         self.emit(
             "cc.backoff",
             event.now,
             kind="multiplicative_decrease",
-            beta=0.5,
+            beta=laws.LOSS_BETA,
             cwnd_before=self.cwnd,
-            cwnd_after=self.cwnd / 2.0,
+            cwnd_after=self.cwnd * laws.LOSS_BETA,
         )
-        self.cwnd /= 2.0
+        self.cwnd *= laws.LOSS_BETA
         self.clamp_cwnd()
         self.velocity = 1.0
         self._direction = 0
-
-    def _last_loss_time(self) -> float:
-        return self._last_loss if self._last_loss is not None else -1e9

@@ -1,18 +1,10 @@
-"""TCP CUBIC congestion control (RFC 8312 / Linux defaults).
+"""CUBIC per-ACK adapter over :mod:`repro.cc.laws.cubic`.
 
-The window growth function is the paper's Equation (1)::
-
-    cwnd(t) = C_cubic * (t - K)^3 + W_max
-
-with ``C_cubic = 0.4``, ``beta = 0.7`` (multiplicative-decrease factor:
-cwnd shrinks *to* 0.7 × W_max on loss, i.e. a 0.3 reduction), and
-``K = cbrt(W_max * (1 - beta) / C_cubic)``.  Fast convergence and the
-TCP-friendly (Reno-emulation) region are implemented as in the Linux
-kernel's ``tcp_cubic.c``.
-
-What matters for the paper's model is the 0.7 backoff: CUBIC's minimum
-buffer occupancy after a loss is what bloats BBR's RTT_min estimate
-(Equations 9–12).
+The window curve, K formula, fast-convergence rule, and TCP-friendly
+region live in the law module (shared with
+:class:`repro.fluidsim.flows.FluidCubic`); this class evaluates them
+per ACK with Linux's one-RTT lookahead and per-congestion-event loss
+gating, as in ``tcp_cubic.c``.
 """
 
 from __future__ import annotations
@@ -20,13 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import cubic as laws
+from repro.cc.laws.base import CongestionEventGate, smooth_rtt
+from repro.cc.laws.cubic import (  # noqa: F401 (canonical law re-exports)
+    BETA_CUBIC,
+    C_CUBIC,
+)
 from repro.cc.signals import LossEvent, RateSample
-
-#: CUBIC scaling constant (units: segments / second^3).
-C_CUBIC = 0.4
-
-#: Multiplicative decrease: cwnd drops *to* BETA_CUBIC × W_max.
-BETA_CUBIC = 0.7
 
 
 @register("cubic")
@@ -56,7 +48,7 @@ class Cubic(CongestionControl):
         self._k = 0.0
         self._epoch_start: Optional[float] = None
         self._srtt: Optional[float] = None
-        self._last_reduction: Optional[float] = None
+        self._loss_gate = CongestionEventGate()
         self._w_est_segments = 0.0  # Reno-emulation window.
         self._epoch_acked = 0.0
 
@@ -70,16 +62,12 @@ class Cubic(CongestionControl):
     def _cubic_window(self, t: float) -> float:
         """Equation (1): target window (segments) ``t`` s into the epoch."""
         assert self.w_max_segments is not None
-        return C_CUBIC * (t - self._k) ** 3 + self.w_max_segments
+        return laws.window(t, self._k, self.w_max_segments)
 
     # -- CongestionControl interface ----------------------------------------
 
     def on_ack(self, sample: RateSample) -> None:
-        self._srtt = (
-            sample.rtt
-            if self._srtt is None
-            else 0.875 * self._srtt + 0.125 * sample.rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, sample.rtt)
         if self.cwnd < self.ssthresh:
             self.cwnd += sample.acked_bytes
             return
@@ -91,17 +79,9 @@ class Cubic(CongestionControl):
         if self._epoch_start is None:
             self._epoch_start = now
             self._epoch_acked = 0.0
-            if (
-                self.w_max_segments is None
-                or self.w_max_segments < self.cwnd_segments
-            ):
-                # No prior loss, or we already grew past the old maximum.
-                self.w_max_segments = self.cwnd_segments
-                self._k = 0.0
-            else:
-                self._k = (
-                    self.w_max_segments * (1.0 - BETA_CUBIC) / C_CUBIC
-                ) ** (1.0 / 3.0)
+            self.w_max_segments, self._k = laws.begin_epoch(
+                self.cwnd_segments, self.w_max_segments
+            )
             self._w_est_segments = self.cwnd_segments
 
         # Linux evaluates the target one RTT ahead for responsiveness.
@@ -119,22 +99,15 @@ class Cubic(CongestionControl):
             # RFC 8312 §4.2: emulate Reno's average growth to stay at least
             # as aggressive as standard TCP in short-RTT/small-BDP regimes.
             self._epoch_acked += acked_seg
-            w_est = self.w_max_segments * BETA_CUBIC + (
-                3.0 * (1.0 - BETA_CUBIC) / (1.0 + BETA_CUBIC)
-            ) * (t / max(rtt, 1e-9))
+            w_est = laws.reno_emulation_window(self.w_max_segments, t, rtt)
             if w_est > self.cwnd_segments:
                 self.cwnd = w_est * self.mss
 
     def on_loss(self, event: LossEvent) -> None:
         # Multiple drops from one buffer overflow arrive within one RTT and
         # constitute a single congestion event.
-        if (
-            self._last_reduction is not None
-            and self._srtt is not None
-            and event.now - self._last_reduction < self._srtt
-        ):
+        if not self._loss_gate.admit(event.now, self._srtt):
             return
-        self._last_reduction = event.now
         cwnd_seg = self.cwnd_segments
         self.emit(
             "cc.backoff",
@@ -144,18 +117,10 @@ class Cubic(CongestionControl):
             cwnd_before=self.cwnd,
             cwnd_after=cwnd_seg * BETA_CUBIC * self.mss,
         )
-        if (
-            self.fast_convergence
-            and self.w_max_segments is not None
-            and cwnd_seg < self.w_max_segments
-        ):
-            # Release bandwidth faster when the available share is shrinking.
-            self.w_max_segments = cwnd_seg * (2.0 - BETA_CUBIC) / 2.0
-        else:
-            self.w_max_segments = cwnd_seg
-        self._k = (self.w_max_segments * (1.0 - BETA_CUBIC) / C_CUBIC) ** (
-            1.0 / 3.0
+        self.w_max_segments = laws.reduce_w_max(
+            cwnd_seg, self.w_max_segments, self.fast_convergence
         )
+        self._k = laws.k_from_w_max(self.w_max_segments)
         self.cwnd = cwnd_seg * BETA_CUBIC * self.mss
         self.clamp_cwnd()
         self.ssthresh = self.cwnd

@@ -1,0 +1,52 @@
+"""Substrate-agnostic congestion-control laws.
+
+One module per algorithm (``laws.reno``, ``laws.cubic``, ``laws.bbr``,
+``laws.bbr2``, ``laws.copa``, ``laws.vegas``, ``laws.vivace``) holds
+every constant, filter, and state-machine transition of that algorithm
+as pure, deterministic kernels.  Two kinds of adapters drive them:
+
+* :mod:`repro.cc` — per-ACK controllers for the packet-level simulator;
+* :mod:`repro.fluidsim.flows` — per-tick dynamics for the fluid model.
+
+Both substrates therefore run *the same algorithm at two granularities*
+— the structural property the paper's cross-substrate validation (and
+the model literature it builds on) depends on.  ``laws.registry`` is the
+single canonical table mapping algorithm names to their kernels and
+adapter classes; both substrate registries derive from it.
+
+See ``docs/ARCHITECTURE.md`` for the layering.
+"""
+
+from repro.cc.laws.base import (
+    INITIAL_CWND_SEGMENTS,
+    MIN_CWND_SEGMENTS,
+    SRTT_GAIN,
+    CongestionEventGate,
+    Signals,
+    smooth_rtt,
+)
+from repro.cc.laws.registry import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    canonical_names,
+    fluid_class,
+    get_spec,
+    kernel_parameters,
+    packet_class,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "CongestionEventGate",
+    "INITIAL_CWND_SEGMENTS",
+    "MIN_CWND_SEGMENTS",
+    "SRTT_GAIN",
+    "Signals",
+    "canonical_names",
+    "fluid_class",
+    "get_spec",
+    "kernel_parameters",
+    "packet_class",
+    "smooth_rtt",
+]

@@ -1,0 +1,79 @@
+"""Shared control-law primitives used by every algorithm kernel.
+
+The :class:`Signals` record is the substrate-neutral observation a kernel
+consumes: the packet adapters fill it from one ACK's
+:class:`~repro.cc.signals.RateSample`, the fluid adapters from one tick's
+:class:`~repro.fluidsim.core.TickContext`.  Kernels never see ACKs or
+ticks directly, so a law stated here holds at both granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Initial congestion window, in segments (RFC 6928).
+INITIAL_CWND_SEGMENTS = 10
+
+#: Floor on the congestion window, in segments.
+MIN_CWND_SEGMENTS = 2
+
+#: EWMA gain for smoothed-RTT updates (RFC 6298's 1/8).
+SRTT_GAIN = 0.125
+
+
+@dataclass(frozen=True)
+class Signals:
+    """One substrate-neutral observation of the path.
+
+    Attributes:
+        now: Observation time in seconds.
+        rtt: The RTT sample carried by this observation, seconds.
+        delivered_bytes: Bytes newly delivered since the last observation.
+        lost_bytes: Bytes newly declared lost since the last observation.
+        delivery_rate: Measured delivery rate in bytes/second (0 when no
+            estimate is available yet).
+        app_limited: True when the sample under-states the path capacity
+            because the sender had nothing to send.
+    """
+
+    now: float
+    rtt: float
+    delivered_bytes: float = 0.0
+    lost_bytes: float = 0.0
+    delivery_rate: float = 0.0
+    app_limited: bool = False
+
+
+def smooth_rtt(srtt: Optional[float], rtt: float) -> float:
+    """RFC 6298 smoothed RTT: ``(1 − 1/8)·srtt + (1/8)·rtt``."""
+    if srtt is None:
+        return rtt
+    return (1.0 - SRTT_GAIN) * srtt + SRTT_GAIN * rtt
+
+
+class CongestionEventGate:
+    """Collapses a burst of losses into one congestion event per interval.
+
+    Every loss-reacting algorithm backs off at most once per RTT: the
+    drops from a single buffer overflow arrive within one RTT and must
+    count as a single congestion event.  ``admit`` returns True — and
+    arms the gate — only when at least ``interval`` seconds have passed
+    since the last admitted event.
+    """
+
+    __slots__ = ("last_event",)
+
+    def __init__(self) -> None:
+        self.last_event: Optional[float] = None
+
+    def admit(self, now: float, interval: Optional[float]) -> bool:
+        """True when a loss at ``now`` starts a new congestion event."""
+        if (
+            self.last_event is not None
+            and interval is not None
+            and now - self.last_event < interval
+        ):
+            return False
+        self.last_event = now
+        return True

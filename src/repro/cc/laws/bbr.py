@@ -1,0 +1,175 @@
+"""BBR (v1) control law — the four-state machine of the paper's §2.1.
+
+From the BBR paper (Cardwell et al., CACM 2017) and
+draft-cardwell-iccrg-bbr-congestion-control:
+
+* **STARTUP** — exponential search with pacing gain 2/ln 2 ≈ 2.885;
+  exits when the bandwidth estimate stops growing ≥25% per round for
+  three consecutive rounds ("full pipe").
+* **DRAIN** — inverse gain until in-flight ≤ 1 estimated BDP.
+* **PROBE_BW** — 8-phase gain cycle [1.25, 0.75, 1, 1, 1, 1, 1, 1], one
+  phase per RTprop.
+* **PROBE_RTT** — every 10 s, shrink the window for at least 200 ms to
+  drain the queue and refresh the RTT_min estimate.
+
+The in-flight cap of ``CWND_GAIN (=2) × estimated BDP`` is the property
+the paper's model depends on (assumption 2 of §2.3): when competing with
+CUBIC, RTprop is over-estimated by CUBIC's minimum buffer occupancy, so
+this cap is what actually governs BBR's send rate.  BBRv1 is
+loss-agnostic (assumption 4).
+
+The kernels below hold all of this once; the per-ACK adapter
+(:class:`repro.cc.bbr.BBRv1`) and the per-tick adapter
+(:class:`repro.fluidsim.flows.FluidBBR`) drive them at their own
+granularities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: STARTUP/DRAIN gain: 2/ln(2), enough to double the sending rate per round.
+HIGH_GAIN = 2.0 / math.log(2.0)
+
+#: PROBE_BW pacing-gain cycle (one phase per RTprop).
+GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+#: PROBE_BW entry phase: neutral (gain 1) so we never probe right after
+#: draining.
+PROBE_BW_NEUTRAL_PHASE = 2
+
+#: cwnd gain outside STARTUP: in-flight cap of 2 × estimated BDP.
+CWND_GAIN = 2.0
+
+#: Bandwidth filter window, in packet-timed rounds.
+BTLBW_FILTER_ROUNDS = 10
+
+#: RTprop filter window and ProbeRTT cadence, seconds.
+RTPROP_FILTER_LEN = 10.0
+
+#: Minimum time spent in PROBE_RTT, seconds.
+PROBE_RTT_DURATION = 0.2
+
+#: cwnd during PROBE_RTT, in packets.
+PROBE_RTT_CWND_SEGMENTS = 4
+
+#: STARTUP exits when bw grows less than this factor per round...
+STARTUP_GROWTH_THRESH = 1.25
+
+#: ...for this many consecutive rounds.
+STARTUP_PLATEAU_ROUNDS = 3
+
+STARTUP = "STARTUP"
+DRAIN = "DRAIN"
+PROBE_BW = "PROBE_BW"
+PROBE_RTT = "PROBE_RTT"
+
+
+class RoundCounter:
+    """Packet-timed round accounting (draft §4.1.1.3).
+
+    A round elapses when a packet sent after the start of the current
+    round is ACKed — i.e. when the ``delivered`` count at send time has
+    caught up with the round's starting mark.
+    """
+
+    __slots__ = ("count", "next_delivered", "round_start")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.next_delivered = 0
+        self.round_start = False
+
+    def update(self, delivered: int, delivered_at_send: int) -> bool:
+        """Advance on one ACK; True when this ACK starts a new round."""
+        self.round_start = False
+        if delivered_at_send >= self.next_delivered:
+            self.next_delivered = delivered
+            self.count += 1
+            self.round_start = True
+        return self.round_start
+
+
+class RtPropTracker:
+    """Windowed-min RTprop estimator.
+
+    New minima refresh both the estimate and its timestamp; when the
+    window expires the next sample is accepted unconditionally (the
+    ``expired`` flag is what sends BBRv1 into PROBE_RTT).
+    """
+
+    __slots__ = ("window", "rtprop", "stamp", "expired")
+
+    def __init__(self, window: float = RTPROP_FILTER_LEN) -> None:
+        self.window = window
+        self.rtprop: Optional[float] = None
+        self.stamp = 0.0
+        self.expired = False
+
+    def update(self, now: float, rtt: float) -> Optional[float]:
+        self.expired = (
+            self.rtprop is not None and now - self.stamp > self.window
+        )
+        if self.rtprop is None or rtt <= self.rtprop or self.expired:
+            self.rtprop = rtt
+            self.stamp = now
+        return self.rtprop
+
+
+class FullPipeDetector:
+    """STARTUP exit law: the pipe is full once bandwidth plateaus.
+
+    Each round, a bandwidth estimate that fails to grow by at least
+    ``STARTUP_GROWTH_THRESH`` over the best-seen value counts toward the
+    plateau; ``STARTUP_PLATEAU_ROUNDS`` consecutive such rounds declare
+    the pipe full.  Both substrates run exactly this test — the packet
+    adapter on round starts, the fluid adapter once per RTT.
+    """
+
+    __slots__ = ("full", "best_bw", "count")
+
+    def __init__(self) -> None:
+        self.full = False
+        self.best_bw = 0.0
+        self.count = 0
+
+    def update(self, bw: float) -> bool:
+        """Feed one round's bandwidth estimate; True once the pipe is full."""
+        if self.full:
+            return True
+        if bw >= self.best_bw * STARTUP_GROWTH_THRESH:
+            self.best_bw = bw
+            self.count = 0
+            return False
+        self.count += 1
+        if self.count >= STARTUP_PLATEAU_ROUNDS:
+            self.full = True
+        return self.full
+
+
+class GainCycler:
+    """PROBE_BW pacing-gain rotation: one :data:`GAIN_CYCLE` phase per
+    RTprop, starting from the neutral phase."""
+
+    __slots__ = ("index", "stamp")
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.index = PROBE_BW_NEUTRAL_PHASE
+        self.stamp = now
+
+    def reset(self, now: float) -> None:
+        """Re-enter the cycle at the neutral phase."""
+        self.index = PROBE_BW_NEUTRAL_PHASE
+        self.stamp = now
+
+    @property
+    def gain(self) -> float:
+        return GAIN_CYCLE[self.index]
+
+    def advance(self, now: float, rtprop: Optional[float]) -> float:
+        """Rotate to the next phase once a full RTprop has elapsed."""
+        if rtprop is not None and now - self.stamp > rtprop:
+            self.index = (self.index + 1) % len(GAIN_CYCLE)
+            self.stamp = now
+        return GAIN_CYCLE[self.index]

@@ -1,0 +1,89 @@
+"""BBRv2 control law (simplified from the IETF-104 iccrg update).
+
+BBRv2 keeps BBRv1's model-based skeleton (bandwidth and RTprop
+estimators, a PROBE_BW cycle, periodic RTT probing) but is "a less
+aggressive alternative" (paper §4.6): it *reacts to packet loss* by
+maintaining an upper bound ``inflight_hi`` on in-flight data, cut
+multiplicatively (β = 0.3) when a round's loss rate exceeds
+``LOSS_THRESH``, and it cruises with 15% headroom below that bound.
+Its PROBE_BW cycle is the four-phase DOWN → CRUISE → REFILL → UP
+sequence, and ProbeRTT is gentler and more frequent than v1's.
+
+These laws capture the behaviours the paper's §4.6 experiments depend
+on: bounded aggression against loss-based flows (more CUBIC flows at
+the Nash Equilibrium) while still claiming a disproportionate share
+when BBRv2 flows are few.  The v1 estimator kernels
+(:class:`~repro.cc.laws.bbr.RoundCounter`,
+:class:`~repro.cc.laws.bbr.RtPropTracker`,
+:class:`~repro.cc.laws.bbr.FullPipeDetector`) are reused unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.cc.laws.bbr import RTPROP_FILTER_LEN  # noqa: F401 (re-export)
+
+#: STARTUP pacing gain (BBRv2 uses 2.77).
+STARTUP_GAIN = 2.77
+
+#: Loss rate per round above which inflight_hi is cut.
+LOSS_THRESH = 0.02
+
+#: Multiplicative cut applied to inflight_hi on an over-threshold round.
+BETA = 0.3
+
+#: Headroom kept below inflight_hi while cruising.
+HEADROOM = 0.85
+
+#: ProbeRTT cadence (seconds); BBRv2 probes more often than v1.
+PROBE_RTT_INTERVAL = 5.0
+
+#: Minimum time spent in ProbeRTT (seconds).
+PROBE_RTT_DURATION = 0.2
+
+#: Time spent cruising before the next bandwidth probe (seconds).
+CRUISE_INTERVAL = 2.5
+
+#: Seconds between fluid-model PROBE_UP attempts that regrow inflight_hi.
+PROBE_UP_INTERVAL = 3.0
+
+#: Bound-regrowth factor applied by each PROBE_UP attempt.
+PROBE_UP_GAIN = 1.25
+
+#: Bandwidth filter window, packet-timed rounds.
+BW_FILTER_ROUNDS = 10
+
+STARTUP = "STARTUP"
+DRAIN = "DRAIN"
+PROBE_DOWN = "PROBE_DOWN"
+CRUISE = "CRUISE"
+REFILL = "REFILL"
+PROBE_UP = "PROBE_UP"
+PROBE_RTT = "PROBE_RTT"
+
+#: Pacing gain per PROBE_BW phase (phases not listed pace at 1).
+PHASE_GAINS = {
+    PROBE_DOWN: 0.9,
+    CRUISE: 1.0,
+    REFILL: 1.0,
+    PROBE_UP: 1.25,
+}
+
+
+def loss_rate(lost_bytes: float, delivered_bytes: float) -> float:
+    """A round's loss rate; 0 when the round carried no traffic."""
+    total = delivered_bytes + lost_bytes
+    if total <= 0:
+        return 0.0
+    return lost_bytes / total
+
+
+def cut_inflight_hi(
+    inflight_hi: float, reference: float, floor: float
+) -> float:
+    """The β-cut bound after an over-threshold round.
+
+    The bound is first clamped to what was actually in flight
+    (``reference``), then cut by β, never below ``floor``.
+    """
+    bound = min(inflight_hi, reference)
+    return max(bound * (1.0 - BETA), floor)

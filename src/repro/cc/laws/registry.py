@@ -1,0 +1,180 @@
+"""The canonical congestion-control algorithm table.
+
+Every algorithm the repo knows appears here exactly once, with the
+law module holding its kernels and the adapter class for each substrate
+(``None`` when an algorithm is deliberately single-substrate).  Both
+name registries — :func:`repro.cc.base.make_controller` for the packet
+simulator and :func:`repro.fluidsim.flows.make_fluid_flow` for the
+fluid model — resolve through this table, so the two substrates can
+never drift apart; ``repro-bbr cc list`` renders it for humans.
+
+Adapter classes are referenced as ``"module:ClassName"`` strings and
+imported lazily, so the table itself has no import cycle with the
+packages it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Dict, List, Optional, Tuple
+
+#: Constant types surfaced by :func:`kernel_parameters`.  State-name
+#: strings and helper classes are part of the kernels, not parameters.
+_PARAMETER_TYPES = (int, float, tuple, dict)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One canonical congestion-control algorithm.
+
+    Attributes:
+        name: Registry key (lowercase).
+        summary: One-line description for ``repro-bbr cc list``.
+        loss_based: Whether the algorithm cuts its window on loss (the
+            fluid simulator uses this to pick overflow victims).
+        laws: Dotted path of the law module holding the kernels.
+        packet: ``"module:Class"`` of the per-ACK adapter, or None.
+        fluid: ``"module:Class"`` of the per-tick adapter, or None.
+    """
+
+    name: str
+    summary: str
+    loss_based: bool
+    laws: str
+    packet: Optional[str]
+    fluid: Optional[str]
+
+    @property
+    def substrates(self) -> Tuple[str, ...]:
+        """Names of the substrates this algorithm runs on."""
+        return tuple(
+            substrate
+            for substrate, ref in (
+                ("packet", self.packet),
+                ("fluid", self.fluid),
+            )
+            if ref is not None
+        )
+
+
+_SPECS = (
+    AlgorithmSpec(
+        name="bbr",
+        summary="BBRv1: model-based, gain-cycled, loss-agnostic",
+        loss_based=False,
+        laws="repro.cc.laws.bbr",
+        packet="repro.cc.bbr:BBRv1",
+        fluid="repro.fluidsim.flows:FluidBBR",
+    ),
+    AlgorithmSpec(
+        name="bbr2",
+        summary="BBRv2: BBR with a loss-bounded in-flight cap",
+        loss_based=True,
+        laws="repro.cc.laws.bbr2",
+        packet="repro.cc.bbr2:BBRv2",
+        fluid="repro.fluidsim.flows:FluidBBR2",
+    ),
+    AlgorithmSpec(
+        name="copa",
+        summary="Copa: delay-target rate control with velocity",
+        loss_based=True,
+        laws="repro.cc.laws.copa",
+        packet="repro.cc.copa:Copa",
+        fluid="repro.fluidsim.flows:FluidCopa",
+    ),
+    AlgorithmSpec(
+        name="cubic",
+        summary="CUBIC: RFC 8312 window curve, 0.7 backoff",
+        loss_based=True,
+        laws="repro.cc.laws.cubic",
+        packet="repro.cc.cubic:Cubic",
+        fluid="repro.fluidsim.flows:FluidCubic",
+    ),
+    AlgorithmSpec(
+        name="reno",
+        summary="NewReno: classic AIMD baseline",
+        loss_based=True,
+        laws="repro.cc.laws.reno",
+        packet="repro.cc.reno:Reno",
+        fluid="repro.fluidsim.flows:FluidReno",
+    ),
+    AlgorithmSpec(
+        name="vegas",
+        summary="Vegas: classic delay-based, 2-4 packets of queue",
+        loss_based=True,
+        laws="repro.cc.laws.vegas",
+        packet="repro.cc.vegas:Vegas",
+        fluid="repro.fluidsim.flows:FluidVegas",
+    ),
+    AlgorithmSpec(
+        name="vivace",
+        summary="PCC Vivace: online-learning utility gradients",
+        loss_based=False,
+        laws="repro.cc.laws.vivace",
+        packet="repro.cc.vivace:Vivace",
+        fluid="repro.fluidsim.flows:FluidVivace",
+    ),
+)
+
+#: The canonical table, keyed by algorithm name.
+ALGORITHMS: Dict[str, AlgorithmSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def canonical_names() -> List[str]:
+    """Sorted names of every canonical algorithm."""
+    return sorted(ALGORITHMS)
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """Look up a spec by (case-insensitive) name."""
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise KeyError(
+            f"unknown congestion control {name!r}; "
+            f"available: {canonical_names()}"
+        )
+    return ALGORITHMS[key]
+
+
+def _load(ref: str) -> type:
+    module_name, _, attr = ref.partition(":")
+    return getattr(import_module(module_name), attr)
+
+
+def packet_class(name: str) -> type:
+    """The per-ACK adapter class for ``name`` (KeyError if fluid-only)."""
+    spec = get_spec(name)
+    if spec.packet is None:
+        raise KeyError(
+            f"congestion control {name!r} has no packet-substrate adapter"
+        )
+    return _load(spec.packet)
+
+
+def fluid_class(name: str) -> type:
+    """The per-tick adapter class for ``name`` (KeyError if packet-only)."""
+    spec = get_spec(name)
+    if spec.fluid is None:
+        raise KeyError(
+            f"congestion control {name!r} has no fluid-substrate adapter"
+        )
+    return _load(spec.fluid)
+
+
+def kernel_parameters(name: str) -> Dict[str, object]:
+    """The law module's constants, by name.
+
+    Every UPPERCASE numeric/tuple binding of the algorithm's law module
+    — the complete parameterization of its control law, suitable for
+    sanity-checking experiment configs without reading source.
+    """
+    module = import_module(get_spec(name).laws)
+    return {
+        key: value
+        for key, value in sorted(vars(module).items())
+        if key.isupper()
+        and not key.startswith("_")
+        and isinstance(value, _PARAMETER_TYPES)
+        and not isinstance(value, bool)
+    }

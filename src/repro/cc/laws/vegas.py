@@ -1,0 +1,48 @@
+"""TCP Vegas control law (Brakmo & Peterson 1995).
+
+Once per RTT::
+
+    diff = cwnd · (RTT − baseRTT) / RTT          (packets of queue)
+    diff < ALPHA_PACKETS → cwnd += 1 MSS
+    diff > BETA_PACKETS  → cwnd −= 1 MSS
+    otherwise              hold
+
+plus Reno-style halving on loss and a slow start that doubles every
+*other* RTT until the queue estimate exceeds ``GAMMA_PACKETS``.  Vegas
+is the canonical delay-based loser against buffer-fillers: it targets
+only α–β packets of queue, so CUBIC walks all over it — the historical
+cautionary tale the paper's game-theoretic lineage (Akella et al.;
+Trinh & Molnár, §6) is built on.
+"""
+
+from __future__ import annotations
+
+#: Lower/upper targets on queued packets (Vegas' α and β).
+ALPHA_PACKETS = 2.0
+BETA_PACKETS = 4.0
+
+#: Slow-start exit threshold on queued packets (Vegas' γ).
+GAMMA_PACKETS = 1.0
+
+#: Reno-style multiplicative backoff on loss.
+LOSS_BETA = 0.5
+
+
+def queued_packets(
+    cwnd: float, rtt: float, base_rtt: float, mss: float
+) -> float:
+    """Vegas' diff: this flow's own packets sitting in the queue."""
+    if base_rtt == float("inf") or rtt <= 0:
+        return 0.0
+    expected = cwnd / base_rtt
+    actual = cwnd / rtt
+    return (expected - actual) * base_rtt / mss
+
+
+def window_adjustment(diff: float, mss: float) -> float:
+    """Per-RTT congestion-avoidance step in bytes: ±1 MSS or hold."""
+    if diff < ALPHA_PACKETS:
+        return mss
+    if diff > BETA_PACKETS:
+        return -mss
+    return 0.0

@@ -1,11 +1,11 @@
-"""TCP (New)Reno congestion control.
+"""NewReno per-ACK adapter over :mod:`repro.cc.laws.reno`.
 
-The classic AIMD baseline: slow start to ``ssthresh``, additive increase of
-one segment per RTT in congestion avoidance, multiplicative decrease by 0.5
-on loss.  Included because the paper frames the CUBIC→BBR transition
-against the historical NewReno→CUBIC transition, and it is a useful sanity
-baseline for the simulator (its throughput follows the well-known
-``MSS/(RTT·√p)`` law, which the test suite checks).
+The classic AIMD baseline: slow start to ``ssthresh``, additive
+increase of one segment per RTT in congestion avoidance, multiplicative
+decrease on loss.  Included because the paper frames the CUBIC→BBR
+transition against the historical NewReno→CUBIC transition, and it is a
+useful sanity baseline for the simulator (its throughput follows the
+well-known ``MSS/(RTT·√p)`` law, which the test suite checks).
 """
 
 from __future__ import annotations
@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import reno as laws
+from repro.cc.laws.base import CongestionEventGate, smooth_rtt
 from repro.cc.signals import LossEvent, RateSample
 
 
@@ -23,37 +25,30 @@ class Reno(CongestionControl):
     name = "reno"
     loss_based = True
 
-    def __init__(self, mss: int = 1500, beta: float = 0.5) -> None:
+    def __init__(self, mss: int = 1500, beta: float = laws.BETA) -> None:
         super().__init__(mss=mss)
         if not 0 < beta < 1:
             raise ValueError(f"beta must be in (0, 1), got {beta}")
         self.beta = beta
         self.ssthresh = float("inf")
         self._srtt: Optional[float] = None
-        self._last_reduction: Optional[float] = None
+        self._loss_gate = CongestionEventGate()
 
     def on_ack(self, sample: RateSample) -> None:
-        self._srtt = (
-            sample.rtt
-            if self._srtt is None
-            else 0.875 * self._srtt + 0.125 * sample.rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, sample.rtt)
         if self.cwnd < self.ssthresh:
             # Slow start: one segment per ACKed segment.
             self.cwnd += sample.acked_bytes
         else:
             # Congestion avoidance: one segment per RTT.
-            self.cwnd += self.mss * sample.acked_bytes / self.cwnd
+            self.cwnd += laws.ai_increment(
+                self.mss, sample.acked_bytes, self.cwnd
+            )
 
     def on_loss(self, event: LossEvent) -> None:
         # Treat all losses within one RTT as a single congestion event.
-        if (
-            self._last_reduction is not None
-            and self._srtt is not None
-            and event.now - self._last_reduction < self._srtt
-        ):
+        if not self._loss_gate.admit(event.now, self._srtt):
             return
-        self._last_reduction = event.now
         self.emit(
             "cc.backoff",
             event.now,
@@ -62,6 +57,6 @@ class Reno(CongestionControl):
             cwnd_before=self.cwnd,
             cwnd_after=self.cwnd * self.beta,
         )
-        self.cwnd *= self.beta
+        self.cwnd = laws.md_window(self.cwnd, self.beta)
         self.clamp_cwnd()
         self.ssthresh = self.cwnd

@@ -1,21 +1,9 @@
-"""TCP Vegas (Brakmo & Peterson 1995) — the classic delay-based CCA.
+"""TCP Vegas per-ACK adapter over :mod:`repro.cc.laws.vegas`.
 
-Included because the game-theoretic lineage the paper builds on (Akella
-et al.; Trinh & Molnár, both cited in §6) analyzed Reno-vs-Vegas games,
-and because Vegas is the canonical example of a CCA that *loses* to
-buffer-fillers: it targets only α–β packets of queue, so CUBIC walks all
-over it — the historical cautionary tale for why delay-based designs
-needed BBR's rethink.
-
-Control law, once per RTT::
-
-    diff = cwnd · (RTT − baseRTT) / RTT          (packets of queue)
-    diff < α  → cwnd += 1 MSS
-    diff > β  → cwnd −= 1 MSS
-    otherwise  hold
-
-with α = 2, β = 4, plus Reno-style halving on loss and a slow-start that
-doubles every *other* RTT until the queue estimate exceeds γ (= 1).
+The α/β/γ queue-occupancy law lives in the law module (shared with
+:class:`repro.fluidsim.flows.FluidVegas`); this class runs it once per
+packet-timed round using the round's best RTT sample, with Reno-style
+halving on loss and a slow start that doubles every other round.
 """
 
 from __future__ import annotations
@@ -23,14 +11,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import vegas as laws
+from repro.cc.laws.base import CongestionEventGate, smooth_rtt
+from repro.cc.laws.vegas import (  # noqa: F401 (canonical law re-exports)
+    ALPHA_PACKETS,
+    BETA_PACKETS,
+    GAMMA_PACKETS,
+)
 from repro.cc.signals import LossEvent, RateSample
-
-#: Lower/upper targets on queued packets (Vegas' α and β).
-ALPHA_PACKETS = 2.0
-BETA_PACKETS = 4.0
-
-#: Slow-start exit threshold on queued packets (Vegas' γ).
-GAMMA_PACKETS = 1.0
 
 
 @register("vegas")
@@ -47,24 +35,18 @@ class Vegas(CongestionControl):
         self._round_end_delivered = 0
         self._in_slow_start = True
         self._grow_this_round = True  # Doubles every other round.
-        self._last_reduction: Optional[float] = None
+        self._loss_gate = CongestionEventGate()
         self._srtt: Optional[float] = None
 
     def queued_packets(self, rtt: float) -> float:
         """Vegas' diff: estimated own packets sitting in the queue."""
-        if self.base_rtt == float("inf") or rtt <= 0:
-            return 0.0
-        expected = self.cwnd / self.base_rtt
-        actual = self.cwnd / rtt
-        return (expected - actual) * self.base_rtt / self.mss
+        return laws.queued_packets(self.cwnd, rtt, self.base_rtt, self.mss)
 
     def on_ack(self, sample: RateSample) -> None:
         rtt = sample.rtt
         self.base_rtt = min(self.base_rtt, rtt)
         self._min_rtt_this_round = min(self._min_rtt_this_round, rtt)
-        self._srtt = (
-            rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, rtt)
         if sample.delivered < self._round_end_delivered:
             return
         # One packet-timed round has elapsed: run the per-RTT update
@@ -83,28 +65,20 @@ class Vegas(CongestionControl):
             self._grow_this_round = not self._grow_this_round
             return
 
-        if diff < ALPHA_PACKETS:
-            self.cwnd += self.mss
-        elif diff > BETA_PACKETS:
-            self.cwnd -= self.mss
+        self.cwnd += laws.window_adjustment(diff, self.mss)
         self.clamp_cwnd()
 
     def on_loss(self, event: LossEvent) -> None:
-        if (
-            self._last_reduction is not None
-            and self._srtt is not None
-            and event.now - self._last_reduction < self._srtt
-        ):
+        if not self._loss_gate.admit(event.now, self._srtt):
             return
-        self._last_reduction = event.now
         self._in_slow_start = False
         self.emit(
             "cc.backoff",
             event.now,
             kind="multiplicative_decrease",
-            beta=0.5,
+            beta=laws.LOSS_BETA,
             cwnd_before=self.cwnd,
-            cwnd_after=self.cwnd / 2.0,
+            cwnd_after=self.cwnd * laws.LOSS_BETA,
         )
-        self.cwnd /= 2.0
+        self.cwnd *= laws.LOSS_BETA
         self.clamp_cwnd()

@@ -1,22 +1,12 @@
-"""PCC Vivace congestion control (Dong et al., NSDI 2018).
+"""PCC Vivace per-ACK adapter over :mod:`repro.cc.laws.vivace`.
 
-Vivace is a rate-based, online-learning algorithm: time is sliced into
-monitor intervals (MIs), each MI measures a utility
-
-    U(x) = x^t − b · x · max(0, dRTT/dt) − c · x · L
-
-with ``x`` the sending rate, ``L`` the observed loss rate, and ``t = 0.9``.
-Paired MIs at rates ``r(1+ε)`` and ``r(1−ε)`` estimate the utility
-gradient, and the rate moves in the gradient's direction with a
-confidence-amplified step.
-
-Vivace comes in two flavours: Vivace-Loss (``b = 0``) and
-Vivace-Latency (``b = 900``); the latency-sensitive variant deliberately
-concedes to buffer-filling competitors (Vivace §3).  The IMC paper's
-Figure 7 shows "PCC Vivace" claiming a *disproportionately large* share
-against CUBIC when its flows are few — the behaviour of Vivace-Loss — so
-``latency_coeff`` defaults to 0 here, with the latency variant available
-via the constructor.
+The utility function, probe-pair schedule, and gradient-step rule live
+in the law module (shared with
+:class:`repro.fluidsim.flows.FluidVivace`); this class slices the ACK
+stream into monitor intervals of one smoothed RTT, measures each MI's
+achieved rate / loss / RTT slope, and applies the scored gradient to
+the pacing rate.  cwnd is kept generously above the pacer's reach so
+the rate, not the window, is the binding control.
 """
 
 from __future__ import annotations
@@ -24,25 +14,17 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cc.base import CongestionControl, register
+from repro.cc.laws import vivace as laws
+from repro.cc.laws.base import smooth_rtt
+from repro.cc.laws.vivace import (  # noqa: F401 (canonical law re-exports)
+    EPSILON,
+    LATENCY_COEFF,
+    LOSS_COEFF,
+    MAX_AMPLIFIER,
+    MIN_RATE,
+    THROUGHPUT_EXPONENT,
+)
 from repro.cc.signals import LossEvent, RateSample
-
-#: Utility exponent on throughput.
-THROUGHPUT_EXPONENT = 0.9
-
-#: Latency-gradient penalty coefficient of the latency-sensitive variant.
-LATENCY_COEFF = 900.0
-
-#: Loss penalty coefficient.
-LOSS_COEFF = 11.35
-
-#: Rate perturbation for gradient probing.
-EPSILON = 0.05
-
-#: Maximum confidence amplifier (consecutive same-direction doublings).
-MAX_AMPLIFIER = 8.0
-
-#: Floor on the sending rate, bytes/second (≈0.12 Mbps).
-MIN_RATE = 15_000.0
 
 
 @register("vivace")
@@ -55,7 +37,7 @@ class Vivace(CongestionControl):
     def __init__(
         self,
         mss: int = 1500,
-        initial_rate: float = 125_000.0,
+        initial_rate: float = laws.DEFAULT_INITIAL_RATE,
         latency_coeff: float = 0.0,
         loss_coeff: float = LOSS_COEFF,
     ):
@@ -89,29 +71,18 @@ class Vivace(CongestionControl):
         self, rate: float, rtt_gradient: float, loss_rate: float
     ) -> float:
         """Vivace's utility for a rate in bytes/s (scored in Mbps units)."""
-        x_mbps = rate * 8.0 / 1e6
-        if x_mbps <= 0:
-            return 0.0
-        return (
-            x_mbps ** THROUGHPUT_EXPONENT
-            - self.latency_coeff * x_mbps * max(0.0, rtt_gradient)
-            - self.loss_coeff * x_mbps * loss_rate
+        return laws.utility(
+            rate, rtt_gradient, loss_rate, self.latency_coeff, self.loss_coeff
         )
 
     def _probe_rate(self) -> float:
-        if self._mi_phase == 0:
-            return self.rate * (1.0 + EPSILON)
-        return self.rate * (1.0 - EPSILON)
+        return laws.probe_rate(self.rate, self._mi_phase)
 
     # -- CongestionControl interface -----------------------------------------
 
     def on_ack(self, sample: RateSample) -> None:
         now = sample.now
-        self._srtt = (
-            sample.rtt
-            if self._srtt is None
-            else 0.875 * self._srtt + 0.125 * sample.rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, sample.rtt)
         if self._mi_start is None:
             self._begin_mi(now)
         self._mi_acked += sample.acked_bytes
@@ -128,7 +99,7 @@ class Vivace(CongestionControl):
     def on_loss(self, event: LossEvent) -> None:
         self._mi_lost += event.lost_packets
 
-    # -- monitor intervals -------------------------------------------------------
+    # -- monitor intervals ----------------------------------------------------
 
     def _begin_mi(self, now: float) -> None:
         duration = max(self._srtt or 0.05, 0.01)
@@ -142,13 +113,16 @@ class Vivace(CongestionControl):
     def _finish_mi(self, now: float) -> None:
         assert self._mi_start is not None
         elapsed = max(now - self._mi_start, 1e-6)
-        achieved = self._mi_acked / elapsed
-        lost_bytes = self._mi_lost * self.mss
-        total = self._mi_acked + lost_bytes
-        loss_rate = lost_bytes / total if total > 0 else 0.0
         rtt_gradient = self._rtt_gradient(elapsed)
         self._pair_utilities.append(
-            self.utility(achieved, rtt_gradient, loss_rate)
+            laws.score_interval(
+                elapsed,
+                self._mi_acked,
+                self._mi_lost * self.mss,
+                rtt_gradient,
+                self.latency_coeff,
+                self.loss_coeff,
+            )
         )
 
         if self._mi_phase == 0:
@@ -175,20 +149,14 @@ class Vivace(CongestionControl):
         if len(self._pair_utilities) != 2:
             return
         u_plus, u_minus = self._pair_utilities
-        if u_plus == u_minus:
-            # No gradient signal: hold the rate, drop the confidence.
-            self._amplifier = 1.0
-            self._last_direction = 0
-            return
-        direction = 1 if u_plus > u_minus else -1
-        if direction == self._last_direction:
-            self._amplifier = min(self._amplifier * 2.0, MAX_AMPLIFIER)
-        else:
-            self._amplifier = 1.0
-        self._last_direction = direction
-        step = direction * EPSILON * self._amplifier * self.rate
         rate_before = self.rate
-        self.rate = max(self.rate + step, MIN_RATE)
+        self.rate, direction, self._amplifier = laws.gradient_step(
+            self.rate, u_plus, u_minus, self._amplifier, self._last_direction
+        )
+        self._last_direction = direction
+        if direction == 0:
+            # No gradient signal: the rate held and the confidence reset.
+            return
         self.emit(
             "cc.rate_step",
             now,

@@ -11,6 +11,8 @@ Subcommands:
 * ``report``   — summarize a JSONL trace written with ``--trace-out``.
 * ``campaign`` — run/resume/inspect declarative scenario campaigns
   (``run``, ``resume``, ``status``, ``validate``; see docs/CAMPAIGNS.md).
+* ``cc``       — inspect the canonical congestion-control table
+  (``list``: every algorithm, its substrates, and law parameters).
 * ``cache``    — inspect (``info``) or prune (``clear``) the result cache.
 * ``list``     — list figures, congestion controls, and bundled campaigns.
 
@@ -588,6 +590,24 @@ def _cmd_campaign_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cc(args: argparse.Namespace) -> int:
+    from repro.cc.laws import ALGORITHMS, kernel_parameters
+
+    if args.action == "list":
+        for name, spec in sorted(ALGORITHMS.items()):
+            substrates = "+".join(spec.substrates)
+            kind = "loss-based" if spec.loss_based else "not loss-based"
+            print(f"{name}  [{substrates}]  ({kind})")
+            print(f"  {spec.summary}")
+            params = kernel_parameters(name)
+            if params:
+                joined = ", ".join(
+                    f"{key}={value!r}" for key, value in params.items()
+                )
+                print(f"  law parameters ({spec.laws}): {joined}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.exec import ResultCache
 
@@ -767,6 +787,17 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_CACHE_DIR)",
     )
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "cc",
+        help="inspect the congestion-control algorithm table",
+    )
+    p.add_argument(
+        "action",
+        choices=("list",),
+        help="list: every algorithm with substrates and law parameters",
+    )
+    p.set_defaults(func=_cmd_cc)
 
     p = sub.add_parser("list", help="list figures and algorithms")
     p.set_defaults(func=_cmd_list)

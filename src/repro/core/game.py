@@ -12,7 +12,7 @@ multi-RTT group game of §4.5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 #: A throughput provider: distribution (number of strategy-B flows) →
 #: (per-flow bandwidth of strategy-A flows, per-flow bandwidth of
@@ -42,7 +42,9 @@ class ThroughputTable:
             )
 
     @classmethod
-    def from_function(cls, n_flows: int, fn: ThroughputFn) -> "ThroughputTable":
+    def from_function(
+        cls, n_flows: int, fn: ThroughputFn
+    ) -> "ThroughputTable":
         """Evaluate ``fn`` for every distribution 0..n."""
         lambda_a, lambda_b = [], []
         for k in range(n_flows + 1):
@@ -89,7 +91,9 @@ class ThroughputTable:
             return k - 1
         return k
 
-    def best_response_path(self, start: int, max_steps: int = 1000) -> List[int]:
+    def best_response_path(
+        self, start: int, max_steps: int = 1000
+    ) -> List[int]:
         """Trajectory of best-response dynamics until it stops moving.
 
         Models the Internet-evolution narrative: websites switch CCA one

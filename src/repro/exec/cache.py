@@ -133,7 +133,7 @@ class ResultCache:
         return path
 
     def stats(self) -> Dict[str, Any]:
-        """Entry count, total bytes, and schema for ``repro-bbr cache info``."""
+        """Entry count, total bytes, schema for ``repro-bbr cache info``."""
         entries = 0
         total_bytes = 0
         if self.root.exists():

@@ -178,7 +178,11 @@ class Engine:
             obs.count("exec.cache.hits" if hit else "exec.cache.misses")
 
     def _record_executed(
-        self, fingerprint: str, result: "ScenarioResult", elapsed: float, obs: Any
+        self,
+        fingerprint: str,
+        result: "ScenarioResult",
+        elapsed: float,
+        obs: Any,
     ) -> None:
         self.simulated += 1
         if obs is not None:
@@ -332,7 +336,8 @@ class Engine:
         rtts: Optional[Dict[str, float]] = None,
         loss_mode: str = "proportional",
     ) -> "ScenarioResult":
-        """Cached, engine-routed equivalent of :func:`repro.experiments.runner.run_mix`."""
+        """Cached, engine-routed equivalent of
+        :func:`repro.experiments.runner.run_mix`."""
         point = ScenarioPoint(
             link=link,
             mix=tuple((cc, count) for cc, count in mix),

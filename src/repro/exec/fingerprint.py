@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro import __version__
 from repro.util.config import LinkConfig
@@ -35,7 +35,7 @@ __all__ = [
 #: Cache payload schema version.  Bump whenever the fingerprinted inputs
 #: or the cached payload layout change incompatibly; old entries then
 #: miss (different fingerprint) instead of being misread.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # v2: controllers rebuilt on repro.cc.laws kernels.
 
 #: Package version folded into every fingerprint so results cached by an
 #: older simulator never masquerade as current ones.  Module-level (not

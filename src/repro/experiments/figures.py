@@ -46,7 +46,7 @@ def _mbps(x: float) -> float:
     return x * 8.0 / 1e6
 
 
-# -- Figure 1: the Ware et al. gap -------------------------------------------------
+# -- Figure 1: the Ware et al. gap --------------------------------------------
 
 
 def figure1(
@@ -92,7 +92,7 @@ def figure1(
     return fig
 
 
-# -- Figure 3: 2-flow model validation -----------------------------------------------
+# -- Figure 3: 2-flow model validation ----------------------------------------
 
 
 def figure3(
@@ -161,7 +161,7 @@ def figure3_all(
     ]
 
 
-# -- Figure 4: multi-flow validation ---------------------------------------------------
+# -- Figure 4: multi-flow validation ------------------------------------------
 
 
 def figure4(
@@ -225,7 +225,7 @@ def figure4(
     return fig
 
 
-# -- Figure 5: diminishing returns ---------------------------------------------------
+# -- Figure 5: diminishing returns --------------------------------------------
 
 
 def figure5(
@@ -279,7 +279,7 @@ def figure5(
     return fig
 
 
-# -- Figure 6: NE geometry --------------------------------------------------------------
+# -- Figure 6: NE geometry ----------------------------------------------------
 
 
 def figure6(
@@ -317,7 +317,7 @@ def figure6(
     return fig
 
 
-# -- Figure 7: other congestion control algorithms ------------------------------------------
+# -- Figure 7: other congestion control algorithms ----------------------------
 
 
 def figure7(
@@ -366,7 +366,7 @@ def figure7(
     return fig
 
 
-# -- Figure 8: throughput and delay along the distribution sweep ------------------------------
+# -- Figure 8: throughput and delay along the distribution sweep --------------
 
 
 def figure8(
@@ -416,7 +416,7 @@ def figure8(
     return fig_a, fig_b
 
 
-# -- Figure 9: NE validation -------------------------------------------------------------------
+# -- Figure 9: NE validation --------------------------------------------------
 
 
 def figure9(
@@ -497,7 +497,7 @@ def figure9_all(
     ]
 
 
-# -- Figure 10: multi-RTT NE ---------------------------------------------------------------------
+# -- Figure 10: multi-RTT NE --------------------------------------------------
 
 
 def figure10(
@@ -563,7 +563,7 @@ def figure10(
     return fig
 
 
-# -- Figure 11: BBRv2 NE ----------------------------------------------------------------------------
+# -- Figure 11: BBRv2 NE ------------------------------------------------------
 
 
 def figure11(
@@ -619,7 +619,7 @@ def figure11(
     return fig
 
 
-# -- Figure 12: ultra-deep buffers ---------------------------------------------------------------------
+# -- Figure 12: ultra-deep buffers --------------------------------------------
 
 
 def figure12(

@@ -48,22 +48,30 @@ class ValidationReport:
     @property
     def model_mae(self) -> float:
         """Mean absolute error of the paper's model, bytes/second."""
-        return mean_absolute_error(self._series("model"), self._series("actual"))
+        return mean_absolute_error(
+            self._series("model"), self._series("actual")
+        )
 
     @property
     def ware_mae(self) -> float:
         """Mean absolute error of Ware et al., bytes/second."""
-        return mean_absolute_error(self._series("ware"), self._series("actual"))
+        return mean_absolute_error(
+            self._series("ware"), self._series("actual")
+        )
 
     @property
     def model_mre(self) -> float:
         """Mean relative error of the paper's model."""
-        return mean_relative_error(self._series("model"), self._series("actual"))
+        return mean_relative_error(
+            self._series("model"), self._series("actual")
+        )
 
     @property
     def ware_mre(self) -> float:
         """Mean relative error of Ware et al."""
-        return mean_relative_error(self._series("ware"), self._series("actual"))
+        return mean_relative_error(
+            self._series("ware"), self._series("actual")
+        )
 
     def model_within(self, tolerance: float) -> float:
         """Fraction of points where the model is within ``tolerance``."""

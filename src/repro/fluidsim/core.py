@@ -281,7 +281,7 @@ class FluidSimulation:
                 )
         return victims
 
-    # -- main loop -------------------------------------------------------------
+    # -- main loop ------------------------------------------------------------
 
     def run(self, duration: float, warmup: float = 0.0) -> SimulationResult:
         """Advance the simulation and return paper-style per-flow results."""

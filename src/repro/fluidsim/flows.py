@@ -1,28 +1,43 @@
-"""Fluid-model congestion-control dynamics.
+"""Fluid-model congestion-control dynamics: per-tick adapters over
+:mod:`repro.cc.laws`.
 
-Each class mirrors the per-ACK algorithm in :mod:`repro.cc` at tick
-granularity: instead of processing individual ACKs, a flow observes last
-tick's throughput and RTT (:class:`~repro.fluidsim.core.TickContext`) and
-updates its in-flight target.  The mapping is deliberately direct — e.g.
-:class:`FluidCubic` evaluates the same ``C·(t−K)³ + W_max`` window curve
-and the same 0.7 backoff as :class:`repro.cc.cubic.Cubic` — so that model
-assumptions validated against the packet simulator carry over.
+Each class drives the *same* control-law kernels as its per-ACK
+counterpart in :mod:`repro.cc`, at tick granularity: instead of
+processing individual ACKs, a flow observes last tick's throughput and
+RTT (:class:`~repro.fluidsim.core.TickContext`) and updates its
+in-flight target.  Every constant, gain table, and state-machine rule
+comes from the law modules — e.g. :class:`FluidCubic` evaluates
+:func:`repro.cc.laws.cubic.window` and backs off via
+:func:`repro.cc.laws.cubic.reduce_w_max` exactly as
+:class:`repro.cc.cubic.Cubic` does — so model assumptions validated
+against the packet simulator carry over structurally, not by
+convention.  The cross-substrate parity suite (``tests/test_parity.py``)
+enforces the resulting agreement end to end.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
+from repro.cc.laws import bbr as bbr_laws
+from repro.cc.laws import bbr2 as bbr2_laws
+from repro.cc.laws import copa as copa_laws
+from repro.cc.laws import cubic as cubic_laws
+from repro.cc.laws import registry as laws_registry
+from repro.cc.laws import reno as reno_laws
+from repro.cc.laws import vegas as vegas_laws
+from repro.cc.laws import vivace as vivace_laws
+from repro.cc.laws.base import (
+    INITIAL_CWND_SEGMENTS,
+    MIN_CWND_SEGMENTS,
+    CongestionEventGate,
+)
 from repro.fluidsim.core import TickContext
 from repro.util.filters import WindowedMax, WindowedMin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.bus import Telemetry
-
-#: CUBIC constants (match repro.cc.cubic).
-C_CUBIC = 0.4
-BETA_CUBIC = 0.7
 
 
 class FluidFlow:
@@ -44,8 +59,10 @@ class FluidFlow:
         self.rtt = rtt
         self.start_time = start_time
         self.mss = mss
-        self.inflight = 10.0 * mss  # IW10.
-        self._last_loss_time: Optional[float] = None
+        self.inflight = float(INITIAL_CWND_SEGMENTS * mss)  # IW10.
+        #: Floor on in-flight data, bytes (the 2-segment cwnd floor).
+        self.min_inflight = float(MIN_CWND_SEGMENTS * mss)
+        self._loss_gate = CongestionEventGate()
         self._last_rtt_measured = rtt
         #: Optional telemetry bus; None (the default) means disabled, and
         #: every emission site guards on that so uninstrumented sweeps pay
@@ -90,14 +107,7 @@ class FluidFlow:
 
     def _loss_guard(self, now: float) -> bool:
         """True when a loss should count as a new congestion event."""
-        guard = self._last_rtt_measured
-        if (
-            self._last_loss_time is not None
-            and now - self._last_loss_time < guard
-        ):
-            return False
-        self._last_loss_time = now
-        return True
+        return self._loss_gate.admit(now, self._last_rtt_measured)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -135,19 +145,12 @@ class FluidCubic(FluidFlow):
         now = ctx.now
         if self._epoch_start is None:
             self._epoch_start = now
-            if (
-                self._w_max_pkts is None
-                or self._w_max_pkts < self.inflight / self.mss
-            ):
-                self._w_max_pkts = self.inflight / self.mss
-                self._k = 0.0
-            else:
-                self._k = (
-                    self._w_max_pkts * (1.0 - BETA_CUBIC) / C_CUBIC
-                ) ** (1.0 / 3.0)
+            self._w_max_pkts, self._k = cubic_laws.begin_epoch(
+                self.inflight / self.mss, self._w_max_pkts
+            )
         t = now - self._epoch_start
-        target_pkts = C_CUBIC * (t - self._k) ** 3 + self._w_max_pkts
-        target = max(target_pkts * self.mss, 2.0 * self.mss)
+        target_pkts = cubic_laws.window(t, self._k, self._w_max_pkts)
+        target = max(target_pkts * self.mss, self.min_inflight)
         # The window is ack-clocked: it cannot grow faster than one extra
         # packet per delivered packet (slow-start bound), with a floor of
         # one segment per RTT so a starved flow can still probe.
@@ -160,24 +163,18 @@ class FluidCubic(FluidFlow):
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
-        w_pkts = self.inflight / self.mss
-        if (
-            self.fast_convergence
-            and self._w_max_pkts is not None
-            and w_pkts < self._w_max_pkts
-        ):
-            self._w_max_pkts = w_pkts * (2.0 - BETA_CUBIC) / 2.0
-        else:
-            self._w_max_pkts = w_pkts
-        self._k = (self._w_max_pkts * (1.0 - BETA_CUBIC) / C_CUBIC) ** (
-            1.0 / 3.0
+        self._w_max_pkts = cubic_laws.reduce_w_max(
+            self.inflight / self.mss, self._w_max_pkts, self.fast_convergence
         )
-        cut = max(self.inflight * BETA_CUBIC, 2.0 * self.mss)
+        self._k = cubic_laws.k_from_w_max(self._w_max_pkts)
+        cut = max(
+            self.inflight * cubic_laws.BETA_CUBIC, self.min_inflight
+        )
         self.emit(
             "cc.backoff",
             now,
             kind="multiplicative_decrease",
-            beta=BETA_CUBIC,
+            beta=cubic_laws.BETA_CUBIC,
             cwnd_before=self.inflight,
             cwnd_after=cut,
         )
@@ -212,12 +209,12 @@ class FluidReno(FluidFlow):
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
-        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(reno_laws.md_window(self.inflight), self.min_inflight)
         self.emit(
             "cc.backoff",
             now,
             kind="multiplicative_decrease",
-            beta=0.5,
+            beta=reno_laws.BETA,
             cwnd_before=self.inflight,
             cwnd_after=cut,
         )
@@ -228,32 +225,20 @@ class FluidReno(FluidFlow):
 class FluidBBR(FluidFlow):
     """BBRv1 as a fluid.
 
-    Faithful to the mechanism that matters for the paper's model: the flow
-    is *paced* at ``gain × bw_est`` (gain cycling through the 8-phase
-    PROBE_BW schedule), so its in-flight data evolves as
-    ``d(inflight)/dt = pacing − delivery`` and only grows when the pacer
-    outruns the bottleneck share — capped at ``2 × bw_est × rtt_min_est``
-    (assumption 2 of §2.3).  ``bw_est`` is a windowed max over 10
-    packet-timed rounds of its own delivery rate, ``rtt_min_est`` is
-    refreshed by a 200 ms ProbeRTT drain every 10 s (assumption 5), and
-    loss is ignored (assumption 4).
+    Faithful to the mechanism that matters for the paper's model: the
+    flow is *paced* at ``gain × bw_est`` (gain cycling through the
+    8-phase PROBE_BW schedule of :data:`repro.cc.laws.bbr.GAIN_CYCLE`),
+    so its in-flight data evolves as ``d(inflight)/dt = pacing −
+    delivery`` and only grows when the pacer outruns the bottleneck
+    share — capped at ``CWND_GAIN × bw_est × rtt_min_est`` (assumption 2
+    of §2.3).  ``bw_est`` is a windowed max over 10 packet-timed rounds
+    of its own delivery rate, ``rtt_min_est`` is refreshed by a 200 ms
+    ProbeRTT drain every 10 s (assumption 5), and loss is ignored
+    (assumption 4).
     """
 
     name = "bbr"
     loss_based = False
-
-    #: ProbeRTT cadence and duration (seconds).
-    PROBE_RTT_INTERVAL = 10.0
-    PROBE_RTT_DURATION = 0.2
-    #: Bandwidth filter length, in packet-timed rounds (RTTs), as in the
-    #: BBR draft's BtlBwFilterLen.
-    BW_WINDOW_ROUNDS = 10.0
-    #: In-flight cap gain.
-    CWND_GAIN = 2.0
-    #: STARTUP pacing gain (2/ln 2).
-    HIGH_GAIN = 2.0 / math.log(2.0)
-    #: PROBE_BW pacing-gain cycle, one phase per rtt_min.
-    GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
 
     def __init__(
         self,
@@ -264,16 +249,16 @@ class FluidBBR(FluidFlow):
         gain_cycling: bool = True,
     ) -> None:
         super().__init__(flow_id, rtt, start_time, mss)
-        self._bw_filter = WindowedMax(self.BW_WINDOW_ROUNDS * rtt)
+        self._bw_filter = WindowedMax(bbr_laws.BTLBW_FILTER_ROUNDS * rtt)
         self.rtt_min_est = rtt  # Fluid flows know no queue at t=0.
         self._rtt_min_stamp = 0.0
+        #: RTprop expiry → ProbeRTT cadence (v2 overrides with its own).
+        self._probe_rtt_interval = bbr_laws.RTPROP_FILTER_LEN
         self.gain_cycling = gain_cycling
         self._in_startup = True
-        self._prev_bw = 0.0
-        self._plateau_count = 0
+        self._full_pipe = bbr_laws.FullPipeDetector()
         self._next_growth_check = 0.0
-        self._cycle_index = 2
-        self._cycle_stamp = 0.0
+        self._cycler = bbr_laws.GainCycler()
         self._probe_rtt_until: Optional[float] = None
         self._inflight_before_probe = 0.0
 
@@ -284,40 +269,43 @@ class FluidBBR(FluidFlow):
         return value if value is not None else 0.0
 
     @property
+    def probe_rtt_floor(self) -> float:
+        """In-flight floor while draining in PROBE_RTT, bytes."""
+        return bbr_laws.PROBE_RTT_CWND_SEGMENTS * self.mss
+
+    @property
     def state(self) -> str:
         """Current BBR phase.  The fluid model drains within one tick on
         STARTUP exit, so DRAIN never appears as a dwelt-in state here."""
         if self._probe_rtt_until is not None:
-            return "PROBE_RTT"
-        return "STARTUP" if self._in_startup else "PROBE_BW"
+            return bbr_laws.PROBE_RTT
+        return bbr_laws.STARTUP if self._in_startup else bbr_laws.PROBE_BW
 
     def tick(self, ctx: TickContext) -> None:
         now = ctx.now
         self._last_rtt_measured = ctx.rtt_measured
         # 10 packet-timed rounds at the current RTT (queueing included).
-        self._bw_filter.window = self.BW_WINDOW_ROUNDS * ctx.rtt_measured
+        self._bw_filter.window = (
+            bbr_laws.BTLBW_FILTER_ROUNDS * ctx.rtt_measured
+        )
         if ctx.throughput > 0:
             self._bw_filter.update(now, ctx.throughput)
         self._update_rtt_min(now, ctx.rtt_measured)
 
         if self._probe_rtt_until is not None:
             if now < self._probe_rtt_until:
-                self.inflight = 4.0 * self.mss
+                self.inflight = self.probe_rtt_floor
                 return
             # Exit ProbeRTT: restore the prior window in one burst.  The
             # collective burst when several BBR flows exit together is what
             # forces CUBIC synchronization (§5, "Forced synchronization").
             self._probe_rtt_until = None
             self._rtt_min_stamp = now
-            self._cycle_stamp = now
+            self._cycler.stamp = now
             self.inflight = self._inflight_before_probe
-            self.emit_state(
-                now,
-                "PROBE_RTT",
-                "STARTUP" if self._in_startup else "PROBE_BW",
-            )
+            self.emit_state(now, bbr_laws.PROBE_RTT, self.state)
 
-        if now - self._rtt_min_stamp > self.PROBE_RTT_INTERVAL:
+        if now - self._rtt_min_stamp > self._probe_rtt_interval:
             # RTprop filter expired: drain to re-measure (state 4 of §2.1).
             self._enter_probe_rtt(now)
             self.rtt_min_est = ctx.rtt_measured
@@ -328,29 +316,26 @@ class FluidBBR(FluidFlow):
         pacing = gain * bw
         if pacing <= 0:
             # No estimate yet: pace the initial window over one RTT.
-            pacing = 10.0 * self.mss / self.rtt
+            pacing = INITIAL_CWND_SEGMENTS * self.mss / self.rtt
         # Sent-minus-delivered fluid balance.
         self.inflight += (pacing - ctx.throughput) * ctx.dt
-        cap_gain = self.HIGH_GAIN if self._in_startup else self.CWND_GAIN
+        cap_gain = (
+            bbr_laws.HIGH_GAIN if self._in_startup else bbr_laws.CWND_GAIN
+        )
         cap = cap_gain * bw * self.rtt_min_est
         if cap > 0:
             self.inflight = min(self.inflight, cap)
-        self.inflight = max(self.inflight, 4.0 * self.mss)
+        self.inflight = max(self.inflight, self.probe_rtt_floor)
 
         if self._in_startup:
             self._check_startup_exit(ctx)
 
     def _current_gain(self, now: float) -> float:
         if self._in_startup:
-            return self.HIGH_GAIN
+            return bbr_laws.HIGH_GAIN
         if not self.gain_cycling:
             return 1.0
-        if now - self._cycle_stamp > self.rtt_min_est:
-            self._cycle_index = (self._cycle_index + 1) % len(
-                self.GAIN_CYCLE
-            )
-            self._cycle_stamp = now
-        return self.GAIN_CYCLE[self._cycle_index]
+        return self._cycler.advance(now, self.rtt_min_est)
 
     def _check_startup_exit(self, ctx: TickContext) -> None:
         now = ctx.now
@@ -358,20 +343,14 @@ class FluidBBR(FluidFlow):
             return
         self._next_growth_check = now + ctx.rtt_measured
         bw = self.bw_est
-        if bw < self._prev_bw * 1.25:
-            self._plateau_count += 1
-        else:
-            self._plateau_count = 0
-            self._prev_bw = bw
-        if self._plateau_count >= 3:
+        if self._full_pipe.update(bw):
             self._in_startup = False
-            self._cycle_index = 2
-            self._cycle_stamp = now
-            self.emit_state(now, "STARTUP", "PROBE_BW")
+            self._cycler.reset(now)
+            self.emit_state(now, bbr_laws.STARTUP, bbr_laws.PROBE_BW)
             # Drain: fall toward 1 estimated BDP before cruising.
             target = bw * self.rtt_min_est
             self.inflight = min(
-                self.inflight, max(target, 4.0 * self.mss)
+                self.inflight, max(target, self.probe_rtt_floor)
             )
 
     def _update_rtt_min(self, now: float, rtt_measured: float) -> None:
@@ -387,27 +366,19 @@ class FluidBBR(FluidFlow):
             self.rtt_min_est = min(self.rtt_min_est, rtt_measured)
 
     def _enter_probe_rtt(self, now: float) -> None:
-        old = "STARTUP" if self._in_startup else "PROBE_BW"
-        self._probe_rtt_until = now + self.PROBE_RTT_DURATION
+        old = self.state
+        self._probe_rtt_until = now + bbr_laws.PROBE_RTT_DURATION
         self._inflight_before_probe = self.inflight
-        self.inflight = 4.0 * self.mss
-        self.emit_state(now, old, "PROBE_RTT")
+        self.inflight = self.probe_rtt_floor
+        self.emit_state(now, old, bbr_laws.PROBE_RTT)
 
 
 class FluidBBR2(FluidBBR):
     """BBRv2 as a fluid: BBR's estimators plus a loss-bounded in-flight
-    cap (β = 0.3 cut, 15% cruise headroom) and periodic cap re-probing."""
+    cap (β cut, cruise headroom) and periodic cap re-probing."""
 
     name = "bbr2"
     loss_based = True
-
-    PROBE_RTT_INTERVAL = 5.0
-    #: Seconds between PROBE_UP attempts that grow inflight_hi.
-    PROBE_UP_INTERVAL = 3.0
-    HEADROOM = 0.85
-    BETA = 0.3
-    #: Per-round loss rate tolerated before cutting inflight_hi.
-    LOSS_THRESH = 0.02
 
     def __init__(
         self,
@@ -417,6 +388,7 @@ class FluidBBR2(FluidBBR):
         mss: int = 1500,
     ) -> None:
         super().__init__(flow_id, rtt, start_time, mss)
+        self._probe_rtt_interval = bbr2_laws.PROBE_RTT_INTERVAL
         self.inflight_hi = float("inf")
         self._next_probe_up = 0.0
         self._round_lost = 0.0
@@ -436,11 +408,11 @@ class FluidBBR2(FluidBBR):
             return
         if now >= self._next_probe_up and math.isfinite(self.inflight_hi):
             # PROBE_UP: push the bound up to look for freed capacity.
-            self.inflight_hi *= 1.25
-            self._next_probe_up = now + self.PROBE_UP_INTERVAL
-        cap = self.HEADROOM * self.inflight_hi
+            self.inflight_hi *= bbr2_laws.PROBE_UP_GAIN
+            self._next_probe_up = now + bbr2_laws.PROBE_UP_INTERVAL
+        cap = bbr2_laws.HEADROOM * self.inflight_hi
         if self.inflight > cap:
-            self.inflight = max(cap, 2.0 * self.mss)
+            self.inflight = max(cap, self.min_inflight)
 
     def on_drop(self, now: float, dropped_bytes: float) -> None:
         self._round_lost += dropped_bytes
@@ -448,21 +420,23 @@ class FluidBBR2(FluidBBR):
     def on_loss(self, now: float) -> None:
         # BBRv2 tolerates up to LOSS_THRESH loss per round before bounding
         # inflight (its model-based loss response, §4.6).
-        total = self._round_lost + self._round_delivered
-        if total <= 0 or self._round_lost / total <= self.LOSS_THRESH:
+        loss_rate = bbr2_laws.loss_rate(
+            self._round_lost, self._round_delivered
+        )
+        if loss_rate <= bbr2_laws.LOSS_THRESH:
             return
         if not self._loss_guard(now):
             return
-        bound = min(self.inflight_hi, self.inflight)
-        loss_rate = self._round_lost / total
-        self.inflight_hi = max(bound * (1.0 - self.BETA), 2.0 * self.mss)
+        self.inflight_hi = bbr2_laws.cut_inflight_hi(
+            self.inflight_hi, self.inflight, self.min_inflight
+        )
         self.inflight = min(self.inflight, self.inflight_hi)
-        self._next_probe_up = now + self.PROBE_UP_INTERVAL
+        self._next_probe_up = now + bbr2_laws.PROBE_UP_INTERVAL
         self.emit(
             "cc.backoff",
             now,
             kind="inflight_hi_cut",
-            beta=self.BETA,
+            beta=bbr2_laws.BETA,
             loss_rate=loss_rate,
             inflight_hi=self.inflight_hi,
         )
@@ -472,15 +446,12 @@ class FluidVegas(FluidFlow):
     """TCP Vegas as a fluid: ±1 MSS/RTT toward 2–4 packets of queue.
 
     The canonical delay-based loser against buffer-fillers (see
-    :mod:`repro.cc.vegas`); included for game-theoretic comparisons with
-    the Reno/Vegas literature the paper cites.
+    :mod:`repro.cc.laws.vegas`); included for game-theoretic comparisons
+    with the Reno/Vegas literature the paper cites.
     """
 
     name = "vegas"
     loss_based = True
-
-    ALPHA = 2.0
-    BETA = 4.0
 
     def __init__(
         self,
@@ -497,34 +468,36 @@ class FluidVegas(FluidFlow):
         self._last_rtt_measured = ctx.rtt_measured
         self._base_rtt = min(self._base_rtt, ctx.rtt_measured)
         # Own queued packets: cwnd·(RTT − base)/RTT, in MSS.
-        diff = (
-            self.inflight
-            * (ctx.rtt_measured - self._base_rtt)
-            / (ctx.rtt_measured * self.mss)
+        diff = vegas_laws.queued_packets(
+            self.inflight, ctx.rtt_measured, self._base_rtt, self.mss
         )
         per_rtt = self.mss * ctx.dt / ctx.rtt_measured
         if self._in_slow_start:
-            if diff > 1.0:
+            if diff > vegas_laws.GAMMA_PACKETS:
                 self._in_slow_start = False
             else:
                 # Doubling every other RTT averages to ×2 per 2 RTTs.
                 self.inflight *= 2.0 ** (ctx.dt / (2 * ctx.rtt_measured))
                 return
-        if diff < self.ALPHA:
+        if diff < vegas_laws.ALPHA_PACKETS:
             self.inflight += per_rtt
-        elif diff > self.BETA:
-            self.inflight = max(self.inflight - per_rtt, 2.0 * self.mss)
+        elif diff > vegas_laws.BETA_PACKETS:
+            self.inflight = max(
+                self.inflight - per_rtt, self.min_inflight
+            )
 
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
         self._in_slow_start = False
-        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(
+            self.inflight * vegas_laws.LOSS_BETA, self.min_inflight
+        )
         self.emit(
             "cc.backoff",
             now,
             kind="multiplicative_decrease",
-            beta=0.5,
+            beta=vegas_laws.LOSS_BETA,
             cwnd_before=self.inflight,
             cwnd_after=cut,
         )
@@ -543,13 +516,13 @@ class FluidCopa(FluidFlow):
         rtt: float,
         start_time: float = 0.0,
         mss: int = 1500,
-        delta: float = 0.5,
+        delta: float = copa_laws.DEFAULT_DELTA,
     ) -> None:
         super().__init__(flow_id, rtt, start_time, mss)
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
         self.delta = delta
-        self._rtt_min_filter = WindowedMin(10.0)
+        self._rtt_min_filter = WindowedMin(copa_laws.RTT_MIN_WINDOW)
         self.velocity = 1.0
         self._direction = 0
         self._same_direction = 0
@@ -560,10 +533,7 @@ class FluidCopa(FluidFlow):
         self._last_rtt_measured = ctx.rtt_measured
         rtt_min = self._rtt_min_filter.update(now, ctx.rtt_measured)
         dq = max(ctx.rtt_measured - rtt_min, 0.0)
-        if dq <= 1e-9:
-            target_rate = float("inf")
-        else:
-            target_rate = self.mss / (self.delta * dq)
+        target_rate = copa_laws.target_rate(self.mss, self.delta, dq)
         current_rate = self.inflight / ctx.rtt_measured
 
         direction = 1 if current_rate <= target_rate else -1
@@ -576,8 +546,8 @@ class FluidCopa(FluidFlow):
         elif now >= self._next_velocity_update:
             self._next_velocity_update = now + ctx.rtt_measured
             self._same_direction += 1
-            if self._same_direction >= 3:
-                self.velocity = min(self.velocity * 2.0, 1e6)
+            if self._same_direction >= copa_laws.VELOCITY_DOUBLE_ROUNDS:
+                self.velocity = copa_laws.double_velocity(self.velocity)
 
         acked_pkts = ctx.throughput * ctx.dt / self.mss
         step = (
@@ -590,19 +560,21 @@ class FluidCopa(FluidFlow):
         # One tick's adjustment cannot exceed the window itself.
         step = min(step, self.inflight)
         self.inflight = max(
-            self.inflight + direction * step, 2.0 * self.mss
+            self.inflight + direction * step, self.min_inflight
         )
         self._direction = direction
 
     def on_loss(self, now: float) -> None:
         if not self._loss_guard(now):
             return
-        cut = max(self.inflight / 2.0, 2.0 * self.mss)
+        cut = max(
+            self.inflight * copa_laws.LOSS_BETA, self.min_inflight
+        )
         self.emit(
             "cc.backoff",
             now,
             kind="multiplicative_decrease",
-            beta=0.5,
+            beta=copa_laws.LOSS_BETA,
             cwnd_before=self.inflight,
             cwnd_after=cut,
         )
@@ -613,21 +585,17 @@ class FluidCopa(FluidFlow):
 class FluidVivace(FluidFlow):
     """PCC Vivace as a fluid: paired monitor intervals probing r(1±ε).
 
-    The utility is ``x^0.9 − b·x·max(0, dRTT/dt) − c·x·L``.  The paper
-    does not say which Vivace variant it ran; its Figure 7 result (a
-    disproportionately *large* share against CUBIC when Vivace flows are
-    few) matches Vivace-Loss (``b = 0``), since the latency-sensitive
-    variant concedes to buffer-filling competitors by design (Vivace §3).
-    ``latency_coeff`` therefore defaults to 0; pass 900 for the
-    latency-sensitive variant.
+    Utility, probe schedule, and the gradient-step rule come from
+    :mod:`repro.cc.laws.vivace`.  The paper does not say which Vivace
+    variant it ran; its Figure 7 result (a disproportionately *large*
+    share against CUBIC when Vivace flows are few) matches Vivace-Loss
+    (``b = 0``), since the latency-sensitive variant concedes to
+    buffer-filling competitors by design (Vivace §3).  ``latency_coeff``
+    therefore defaults to 0; pass 900 for the latency-sensitive variant.
     """
 
     name = "vivace"
     loss_based = False
-
-    EPSILON = 0.05
-    MAX_AMPLIFIER = 8.0
-    MIN_RATE = 15_000.0  # bytes/second
 
     def __init__(
         self,
@@ -635,9 +603,9 @@ class FluidVivace(FluidFlow):
         rtt: float,
         start_time: float = 0.0,
         mss: int = 1500,
-        initial_rate: float = 125_000.0,
+        initial_rate: float = vivace_laws.DEFAULT_INITIAL_RATE,
         latency_coeff: float = 0.0,
-        loss_coeff: float = 11.35,
+        loss_coeff: float = vivace_laws.LOSS_COEFF,
     ) -> None:
         super().__init__(flow_id, rtt, start_time, mss)
         self.latency_coeff = latency_coeff
@@ -658,20 +626,12 @@ class FluidVivace(FluidFlow):
         self, rate: float, rtt_gradient: float, loss_rate: float
     ) -> float:
         """Vivace utility, rate in bytes/s scored in Mbps (NSDI'18 form)."""
-        x = rate * 8.0 / 1e6
-        if x <= 0:
-            return 0.0
-        return (
-            x ** 0.9
-            - self.latency_coeff * x * max(0.0, rtt_gradient)
-            - self.loss_coeff * x * loss_rate
+        return vivace_laws.utility(
+            rate, rtt_gradient, loss_rate, self.latency_coeff, self.loss_coeff
         )
 
     def _probe_rate(self) -> float:
-        # The probe pair must stay distinct even at the rate floor, or the
-        # gradient degenerates and the flow can never climb back up.
-        factor = 1.0 + self.EPSILON if self._mi_phase == 0 else 1.0 - self.EPSILON
-        return self.rate * factor
+        return vivace_laws.probe_rate(self.rate, self._mi_phase)
 
     def tick(self, ctx: TickContext) -> None:
         now = ctx.now
@@ -684,7 +644,7 @@ class FluidVivace(FluidFlow):
         if now >= self._mi_end:
             self._finish_mi(now, ctx)
         self.inflight = max(
-            self._probe_rate() * ctx.rtt_measured, 2.0 * self.mss
+            self._probe_rate() * ctx.rtt_measured, self.min_inflight
         )
 
     def on_drop(self, now: float, dropped_bytes: float) -> None:
@@ -700,11 +660,17 @@ class FluidVivace(FluidFlow):
     def _finish_mi(self, now: float, ctx: TickContext) -> None:
         assert self._mi_start is not None
         elapsed = max(now - self._mi_start, 1e-6)
-        achieved = self._mi_delivered / elapsed
-        total = self._mi_delivered + self._mi_lost
-        loss_rate = self._mi_lost / total if total > 0 else 0.0
         rtt_gradient = (self._last_qd - self._mi_qd_start) / elapsed
-        self._pair.append(self.utility(achieved, rtt_gradient, loss_rate))
+        self._pair.append(
+            vivace_laws.score_interval(
+                elapsed,
+                self._mi_delivered,
+                self._mi_lost,
+                rtt_gradient,
+                self.latency_coeff,
+                self.loss_coeff,
+            )
+        )
         if self._mi_phase == 0:
             self._mi_phase = 1
         else:
@@ -717,45 +683,33 @@ class FluidVivace(FluidFlow):
         if len(self._pair) != 2:
             return
         u_plus, u_minus = self._pair
-        if u_plus == u_minus:
-            # No gradient signal: hold the rate, drop the confidence.
-            self._amplifier = 1.0
-            self._last_direction = 0
-            return
-        direction = 1 if u_plus > u_minus else -1
-        if direction == self._last_direction:
-            self._amplifier = min(self._amplifier * 2.0, self.MAX_AMPLIFIER)
-        else:
-            self._amplifier = 1.0
-        self._last_direction = direction
-        self.rate = max(
-            self.rate + direction * self.EPSILON * self._amplifier * self.rate,
-            self.MIN_RATE,
+        self.rate, direction, self._amplifier = vivace_laws.gradient_step(
+            self.rate, u_plus, u_minus, self._amplifier, self._last_direction
         )
-
-
-_FLUID_REGISTRY: Dict[str, Callable[..., FluidFlow]] = {
-    "cubic": FluidCubic,
-    "reno": FluidReno,
-    "vegas": FluidVegas,
-    "bbr": FluidBBR,
-    "bbr2": FluidBBR2,
-    "copa": FluidCopa,
-    "vivace": FluidVivace,
-}
+        self._last_direction = direction
 
 
 def make_fluid_flow(name: str, **kwargs: object) -> FluidFlow:
-    """Instantiate a fluid flow class by congestion-control name."""
+    """Instantiate a fluid flow by congestion-control name.
+
+    Resolution goes through the canonical algorithm table
+    (:mod:`repro.cc.laws.registry`), so the fluid substrate can never
+    drift from the packet one.
+    """
     key = name.lower()
-    if key not in _FLUID_REGISTRY:
+    spec = laws_registry.ALGORITHMS.get(key)
+    if spec is None or spec.fluid is None:
         raise KeyError(
             f"unknown fluid congestion control {name!r}; "
-            f"available: {sorted(_FLUID_REGISTRY)}"
+            f"available: {available_fluid_algorithms()}"
         )
-    return _FLUID_REGISTRY[key](**kwargs)
+    return laws_registry.fluid_class(key)(**kwargs)
 
 
 def available_fluid_algorithms() -> List[str]:
     """Names of all fluid congestion-control dynamics."""
-    return sorted(_FLUID_REGISTRY)
+    return [
+        name
+        for name in laws_registry.canonical_names()
+        if laws_registry.ALGORITHMS[name].fluid is not None
+    ]

@@ -14,6 +14,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.cc.base import CongestionControl
+from repro.cc.laws.base import smooth_rtt
 from repro.sim.engine import EventLoop
 from repro.sim.packet import Ack, LossEvent, Packet, RateSample
 from repro.sim.stats import FlowStats
@@ -165,9 +166,7 @@ class Sender:
             self._highest_acked = ack.seq
 
         rtt = now - packet.sent_time
-        self._srtt = (
-            rtt if self._srtt is None else 0.875 * self._srtt + 0.125 * rtt
-        )
+        self._srtt = smooth_rtt(self._srtt, rtt)
         self.stats.record_rtt(rtt)
         self.stats.ack_count += 1
 

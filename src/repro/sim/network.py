@@ -19,7 +19,7 @@ from repro.cc.base import make_controller
 from repro.sim.endpoints import Receiver, Sender
 from repro.sim.engine import EventLoop
 from repro.sim.link import DelayLine, Link
-from repro.sim.packet import Ack, Packet
+from repro.sim.packet import Packet
 from repro.sim.stats import FlowStats
 from repro.util.config import LinkConfig
 

@@ -29,7 +29,7 @@ class WindowedFilter:
         self._samples: Deque[Tuple[float, float]] = deque()
 
     def update(self, now: float, value: float) -> float:
-        """Insert a sample taken at time ``now`` and return the current best."""
+        """Insert a sample taken at ``now`` and return the current best."""
         self._expire(now)
         while self._samples and self._better(value, self._samples[-1][1]):
             self._samples.pop()

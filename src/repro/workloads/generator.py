@@ -16,7 +16,6 @@ simulator's spec type.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence

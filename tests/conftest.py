@@ -55,7 +55,9 @@ class ControllerDriver:
         self.delivered += self.mss
         sample = RateSample(
             rtt=self.rtt if rtt is None else rtt,
-            delivery_rate=self.rate if delivery_rate is None else delivery_rate,
+            delivery_rate=(
+                self.rate if delivery_rate is None else delivery_rate
+            ),
             delivered=self.delivered,
             delivered_at_send=max(
                 prior_delivered - int(self.rate * self.rtt), 0

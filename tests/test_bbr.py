@@ -11,7 +11,6 @@ from repro.cc.bbr import (
     STARTUP,
     BBRv1,
 )
-from repro.cc.signals import LossEvent
 
 
 def make_driver(driver_factory, rate=1.25e6, rtt=0.04):

@@ -11,7 +11,6 @@ from repro.cc.bbr2 import (
     STARTUP,
     BBRv2,
 )
-from repro.cc.signals import LossEvent
 
 
 def settle(d, seconds=2.0):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cc import available_algorithms, make_controller
 from repro.cc.base import CongestionControl, register
-from repro.cc.signals import LossEvent, RateSample
 
 
 def test_all_paper_algorithms_registered():

@@ -467,8 +467,10 @@ def test_cache_info_and_clear(tmp_path, capsys):
     capsys.readouterr()
     assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
     out = capsys.readouterr().out
+    from repro.exec.fingerprint import CACHE_SCHEMA
+
     assert "entries: 1" in out
-    assert "schema: 1" in out
+    assert f"schema: {CACHE_SCHEMA}" in out
 
     assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
     assert "removed 1" in capsys.readouterr().out
@@ -505,3 +507,34 @@ def test_figure_cached_rerun_reuses_points(tmp_path, capsys):
     points = int(cold_line.split()[1])
     hits = int(warm_line.split(",")[1].split()[0])
     assert hits == points  # Warm rerun answered fully from cache.
+
+
+def test_cc_list_renders_canonical_table(capsys):
+    from repro.cc.laws import ALGORITHMS
+
+    assert main(["cc", "list"]) == 0
+    out = capsys.readouterr().out
+    for name, spec in ALGORITHMS.items():
+        assert name in out
+        assert spec.summary in out
+    # Every algorithm runs on both substrates, and the listing says so.
+    assert out.count("[packet+fluid]") == len(ALGORITHMS)
+    # Law parameters come from the kernel modules.
+    assert "C_CUBIC=0.4" in out
+    assert "GAIN_CYCLE=(1.25, 0.75," in out
+
+
+def test_cc_list_substrate_sets_match(capsys):
+    """The sets the CLI reports are the registries both substrates use."""
+    from repro.cc import available_algorithms
+    from repro.fluidsim.flows import available_fluid_algorithms
+
+    assert main(["cc", "list"]) == 0
+    out = capsys.readouterr().out
+    listed = {
+        line.split()[0]
+        for line in out.splitlines()
+        if line and not line.startswith(" ")
+    }
+    assert listed == set(available_algorithms())
+    assert listed == set(available_fluid_algorithms())

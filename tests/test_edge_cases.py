@@ -24,7 +24,9 @@ def test_bisect_on_two_flow_game():
         lambda_a=[50.0, 30.0, 0.0],
         lambda_b=[0.0, 70.0, 50.0],
     )
-    equilibria, _ = bisect_nash(2, lambda k: (table.lambda_a[k], table.lambda_b[k]))
+    equilibria, _ = bisect_nash(
+        2, lambda k: (table.lambda_a[k], table.lambda_b[k])
+    )
     assert equilibria == table.nash_equilibria()
 
 

@@ -52,7 +52,9 @@ def test_clock_advances_to_deadline_when_queue_drains():
 def test_call_later_is_relative():
     loop = EventLoop()
     times = []
-    loop.call_at(5.0, lambda: loop.call_later(2.0, lambda: times.append(loop.now)))
+    loop.call_at(
+        5.0, lambda: loop.call_later(2.0, lambda: times.append(loop.now))
+    )
     loop.run_until(10.0)
     assert times == [7.0]
 

@@ -9,7 +9,6 @@ full scale.
 import pytest
 
 from repro.core.multi_flow import predict_multi_flow
-from repro.core.nash import predict_nash
 from repro.core.two_flow import predict_two_flow
 from repro.core.ware import ware_prediction
 from repro.experiments.runner import run_mix

@@ -20,7 +20,9 @@ def make_packet(seq=0, size=1000, flow_id=0):
     )
 
 
-def make_link(loop, delivered, capacity=1e6, delay=0.0, buffer_bytes=5000, on_drop=None):
+def make_link(
+    loop, delivered, capacity=1e6, delay=0.0, buffer_bytes=5000, on_drop=None
+):
     return Link(
         loop=loop,
         capacity=capacity,

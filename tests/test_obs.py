@@ -17,7 +17,6 @@ from repro.obs import (
     use,
     write_trace,
 )
-from repro.obs.report import RunReport
 from repro.sim.network import DumbbellNetwork, FlowSpec, run_dumbbell
 from repro.sim.trace import CwndTracer
 from repro.util.config import LinkConfig

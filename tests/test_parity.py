@@ -1,0 +1,86 @@
+"""Cross-substrate parity: packet and fluid simulators, same laws.
+
+Both simulators now drive the identical control-law kernels in
+:mod:`repro.cc.laws` through substrate-specific adapters, so on the
+paper's headline scenario (1 CUBIC vs 1 BBR across a buffer-depth
+sweep, Figure 3/5 style) they must agree on the *outcome*, not just the
+constants: BBR's bandwidth share within 10 percentage points at every
+grid point, and the same qualitative shape.
+
+The grid deliberately skips the 1.5–2.5 BDP shelf: that is the fig-3
+cliff where BBR's inflight cap stops covering buffer + BDP, and the two
+substrates place the cliff edge a fraction of a BDP apart, so shares
+*on* the edge are a discontinuity comparison, not a parity one.  The
+shape tests below still pin the cliff's existence on both substrates.
+
+This is the slowest module in the suite (~1 min: seven packet-level
+120 s runs at 50 Mbps); everything derives from one module-scoped
+sweep.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_mix
+from repro.util.config import LinkConfig
+
+#: Buffer depths (BDP multiples) for the parity grid.
+BUFFER_GRID = (1.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0)
+
+#: Maximum tolerated |packet − fluid| BBR share, in absolute fraction.
+SHARE_TOLERANCE = 0.10
+
+_DURATION = 120.0
+
+
+@pytest.fixture(scope="module")
+def shares():
+    """BBR's share of capacity per substrate at each buffer depth."""
+    grid = {}
+    for bdp in BUFFER_GRID:
+        link = LinkConfig.from_mbps_ms(50, 40, bdp)
+        point = {}
+        for backend in ("packet", "fluid"):
+            result = run_mix(
+                link,
+                [("cubic", 1), ("bbr", 1)],
+                duration=_DURATION,
+                backend=backend,
+            )
+            point[backend] = result.per_flow["bbr"] / link.capacity
+        grid[bdp] = point
+    return grid
+
+
+@pytest.mark.parametrize("bdp", BUFFER_GRID)
+def test_bbr_share_matches_across_substrates(shares, bdp):
+    point = shares[bdp]
+    assert point["packet"] == pytest.approx(
+        point["fluid"], abs=SHARE_TOLERANCE
+    ), (
+        f"at {bdp} BDP: packet {point['packet']:.3f} "
+        f"vs fluid {point['fluid']:.3f}"
+    )
+
+
+@pytest.mark.parametrize("backend", ["packet", "fluid"])
+def test_bbr_dominates_shallow_buffers_on_both_substrates(shares, backend):
+    """Figure 3's left edge: with ~1 BDP of buffer, BBR's inflight cap
+    is never reached and it starves CUBIC on either substrate."""
+    assert shares[1.0][backend] > 0.8
+
+
+@pytest.mark.parametrize("backend", ["packet", "fluid"])
+def test_bbr_share_declines_into_deep_buffers(shares, backend):
+    """Figure 3's shape: the cliff past 1 BDP, then a deep-buffer
+    regime where CUBIC holds the majority share."""
+    assert shares[1.0][backend] > shares[3.0][backend]
+    assert shares[12.0][backend] < 0.5
+
+
+def test_substrates_agree_on_cliff_magnitude(shares):
+    """The 1→3 BDP share drop itself matches across substrates."""
+    drop_packet = shares[1.0]["packet"] - shares[3.0]["packet"]
+    drop_fluid = shares[1.0]["fluid"] - shares[3.0]["fluid"]
+    assert drop_packet == pytest.approx(drop_fluid, abs=2 * SHARE_TOLERANCE)
+    assert drop_packet > 0.3
+    assert drop_fluid > 0.3

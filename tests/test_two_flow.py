@@ -1,6 +1,5 @@
 """The paper's 2-flow model (§2.3): algebra, invariants, known values."""
 
-import math
 
 import pytest
 
