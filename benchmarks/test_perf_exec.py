@@ -142,3 +142,46 @@ def test_fig9_parallel_and_warm_runs_are_identical(tmp_path):
     assert obs.counter("exec.cache.hits") == obs.counter(
         "exec.points.submitted"
     )
+
+
+def test_check_disabled_is_free():
+    """The sanitizer regression guard (paired comparison, no
+    pytest-benchmark).  A checks-off run must (a) produce results
+    identical to a checks-on run — the sanitizer observes, never
+    perturbs — and (b) not pay materially for the instrumentation:
+    every site guards on a single ``check is not None`` attribute
+    test, so disabled runs are bounded by enabled runs plus noise.
+    """
+    from statistics import median
+
+    from repro.check import Checker
+    from repro.sim.network import FlowSpec, run_dumbbell
+
+    link = LinkConfig.from_mbps_ms(5, 20, 4)
+    specs = [FlowSpec("cubic"), FlowSpec("bbr")]
+
+    def run(check):
+        start = time.perf_counter()
+        result = run_dumbbell(link, specs, 10.0, check=check)
+        return result, time.perf_counter() - start
+
+    run(None)  # Warm up interpreter state once.
+
+    plain_times, checked_times = [], []
+    plain_result = checked_result = None
+    for _ in range(5):
+        plain_result, elapsed = run(None)
+        plain_times.append(elapsed)
+        check = Checker()
+        checked_result, elapsed = run(check)
+        checked_times.append(elapsed)
+        assert check.checks_run > 0  # The sanitizer actually ran.
+
+    assert (
+        plain_result.events_processed == checked_result.events_processed
+    )
+    for plain, checked in zip(plain_result.flows, checked_result.flows):
+        assert plain.throughput == checked.throughput
+        assert plain.loss_rate == checked.loss_rate
+
+    assert median(plain_times) < median(checked_times) * 1.25

@@ -23,6 +23,7 @@ from repro.cc.laws.base import INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS
 from repro.cc.signals import LossEvent, RateSample
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 __all__ = [
@@ -57,6 +58,10 @@ class CongestionControl(abc.ABC):
         self.pacing_rate: Optional[float] = None
         #: Optional telemetry bus (see :mod:`repro.obs`); None = disabled.
         self.obs: Optional["Telemetry"] = None
+        #: Optional invariant checker (see :mod:`repro.check`); when
+        #: set, every state-machine transition is validated against the
+        #: algorithm's law tables.
+        self.check: Optional["Checker"] = None
         #: Flow identity stamped onto emitted events by the substrate.
         self.flow_id: Optional[int] = None
 
@@ -87,6 +92,11 @@ class CongestionControl(abc.ABC):
 
     def emit_state(self, now: float, old: Optional[str], new: str) -> None:
         """Emit a ``cc.state`` state-machine transition event."""
+        check = self.check
+        if check is not None:
+            check.state_transition(
+                now, self.name, self.flow_id, old, new, substrate="packet"
+            )
         obs = self.obs
         if obs is not None:
             obs.event(

@@ -33,6 +33,7 @@ from repro.cc.laws.registry import (
     get_spec,
     kernel_parameters,
     packet_class,
+    state_names,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "kernel_parameters",
     "packet_class",
     "smooth_rtt",
+    "state_names",
 ]

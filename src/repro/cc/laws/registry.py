@@ -162,6 +162,25 @@ def fluid_class(name: str) -> type:
     return _load(spec.fluid)
 
 
+def state_names(name: str) -> Dict[str, str]:
+    """The law module's state-name bindings, by constant name.
+
+    Every UPPERCASE string binding of the algorithm's law module —
+    for BBR-family laws these are the state-machine phase names
+    (``STARTUP``, ``DRAIN``, ...).  The invariant sanitizer
+    (:mod:`repro.check`) builds its legal-state tables from these so
+    the checker can never drift from the laws it audits.
+    """
+    module = import_module(get_spec(name).laws)
+    return {
+        key: value
+        for key, value in sorted(vars(module).items())
+        if key.isupper()
+        and not key.startswith("_")
+        and isinstance(value, str)
+    }
+
+
 def kernel_parameters(name: str) -> Dict[str, object]:
     """The law module's constants, by name.
 

@@ -1,0 +1,32 @@
+"""Opt-in runtime invariant sanitizer (``repro.check``).
+
+Threads conservation audits, event-loop legality, per-CCA law
+invariants, and fluid rate-conservation checks through both simulation
+substrates.  Disabled runs pay a single ``if check is not None``
+attribute test per instrumented site — the same guard discipline as
+:mod:`repro.obs`.  See ``docs/CHECKS.md`` for the invariant catalogue.
+"""
+
+from repro.check.core import (
+    MAX_PENDING_EVENTS,
+    Checker,
+    clear_default,
+    enabled_from_env,
+    get_default,
+    resolve,
+    set_default,
+    use,
+)
+from repro.check.errors import InvariantViolation
+
+__all__ = [
+    "MAX_PENDING_EVENTS",
+    "Checker",
+    "InvariantViolation",
+    "clear_default",
+    "enabled_from_env",
+    "get_default",
+    "resolve",
+    "set_default",
+    "use",
+]

@@ -1,0 +1,373 @@
+"""Runtime invariant sanitizer for both simulation substrates.
+
+A :class:`Checker` is threaded through the packet simulator (event
+loop, bottleneck link, senders, controllers) and the fluid simulator
+(core loop, flows) exactly the way a :class:`repro.obs.bus.Telemetry`
+bus is: every instrumented site holds an optional ``check`` attribute
+and guards with a single ``if check is not None`` test, so disabled
+runs pay one attribute load per site and nothing else.
+
+Enabling:
+
+* pass ``check=Checker()`` to ``run_dumbbell`` / ``run_fluid`` /
+  ``DumbbellNetwork`` / ``FluidSimulation``;
+* install a process default via :func:`set_default` / :func:`use`; or
+* set ``REPRO_CHECK=1`` in the environment (the CLI's ``--check`` flag
+  does exactly this, so engine worker processes inherit it).
+
+The first failing invariant raises
+:class:`repro.check.errors.InvariantViolation` with the scenario
+fingerprint (when running under ``repro.exec``), the simulation time,
+and the last N remembered events for the offending flow.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, Optional
+
+from repro.check import laws as check_laws
+from repro.check.errors import InvariantViolation, RecentEvent
+
+#: Pending-event ceiling for the event-loop boundedness check.  Far
+#: above anything a legitimate dumbbell run enqueues (the loop keeps at
+#: most a handful of events per flow in flight).
+MAX_PENDING_EVENTS = 10_000_000
+
+
+class Checker:
+    """Collects invariant hooks and raises on the first violation.
+
+    Args:
+        tolerance: Relative tolerance for floating-point rate
+            comparisons (fluid-substrate conservation).
+        recent: How many events to remember for violation reports.
+    """
+
+    def __init__(self, tolerance: float = 1e-6, recent: int = 32) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        if recent < 1:
+            raise ValueError(f"recent must be >= 1, got {recent}")
+        self.tolerance = tolerance
+        #: Scenario context attached to every violation.
+        self.context: Dict[str, Any] = {}
+        #: Ring buffer of remembered events (state transitions etc.).
+        self.recent: Deque[RecentEvent] = deque(maxlen=recent)
+        #: Total individual invariant evaluations performed.
+        self.checks_run = 0
+
+    # -- context & reporting ----------------------------------------------
+
+    def set_context(self, **fields: Any) -> None:
+        """Attach scenario context (fingerprint, backend, ...)."""
+        self.context.update(fields)
+
+    def note(
+        self,
+        time: float,
+        name: str,
+        flow_id: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Remember an event for later violation reports."""
+        self.recent.append((time, name, flow_id, fields))
+
+    def fail(
+        self,
+        check: str,
+        message: str,
+        *,
+        time: Optional[float] = None,
+        flow_id: Optional[int] = None,
+        cc: Optional[str] = None,
+    ) -> None:
+        """Raise an :class:`InvariantViolation` for ``check``."""
+        recent = [
+            event
+            for event in self.recent
+            if flow_id is None or event[2] is None or event[2] == flow_id
+        ]
+        raise InvariantViolation(
+            message,
+            check=check,
+            time=time,
+            flow_id=flow_id,
+            cc=cc,
+            fingerprint=self.context.get("fingerprint"),
+            context=self.context,
+            recent=recent,
+        )
+
+    # -- event-loop legality ----------------------------------------------
+
+    def event_loop_tick(self, when: float, now: float, pending: int) -> None:
+        """Called before each event dispatch with the loop's clock."""
+        self.checks_run += 1
+        if when < now:
+            self.fail(
+                "sim.clock",
+                f"event dispatch at t={when} behind the clock t={now}: "
+                "the event loop must be monotonic",
+                time=now,
+            )
+        if pending > MAX_PENDING_EVENTS:
+            self.fail(
+                "sim.queue_bound",
+                f"{pending} pending events exceed the "
+                f"{MAX_PENDING_EVENTS} bound (runaway self-scheduling?)",
+                time=now,
+            )
+
+    # -- packet-substrate conservation ------------------------------------
+
+    def link_audit(
+        self,
+        now: float,
+        *,
+        offered: int,
+        forwarded: int,
+        dropped: int,
+        queued: int,
+        in_service: int,
+        buffer_bytes: float,
+        gauge: int,
+    ) -> None:
+        """Byte-conservation audit at the bottleneck link."""
+        self.checks_run += 1
+        accounted = forwarded + dropped + queued + in_service
+        if offered != accounted:
+            self.fail(
+                "link.conservation",
+                f"offered {offered}B != forwarded {forwarded}B + dropped "
+                f"{dropped}B + queued {queued}B + in-service "
+                f"{in_service}B (= {accounted}B)",
+                time=now,
+            )
+        if queued < 0 or queued > buffer_bytes:
+            self.fail(
+                "link.queue_bounds",
+                f"queued {queued}B outside [0, {buffer_bytes}B]",
+                time=now,
+            )
+        if gauge != queued:
+            self.fail(
+                "link.occupancy_gauge",
+                f"occupancy-integral gauge {gauge}B disagrees with the "
+                f"queue ({queued}B): the mean-queue integral is corrupt",
+                time=now,
+            )
+
+    # -- packet-substrate flow state --------------------------------------
+
+    def flow_update(
+        self, now: float, flow_id: Optional[int], cc: Any, in_flight: int
+    ) -> None:
+        """Per-ACK controller/flow bounds for the packet substrate."""
+        self.checks_run += 1
+        name = cc.name
+        if in_flight < 0:
+            self.fail(
+                "flow.inflight",
+                f"in-flight bytes went negative ({in_flight}B)",
+                time=now,
+                flow_id=flow_id,
+                cc=name,
+            )
+        cwnd = cc.cwnd
+        if not math.isfinite(cwnd) or cwnd < cc.min_cwnd:
+            self.fail(
+                "cc.cwnd_bounds",
+                f"cwnd {cwnd!r}B outside [{cc.min_cwnd}B, inf)",
+                time=now,
+                flow_id=flow_id,
+                cc=name,
+            )
+        rate = cc.pacing_rate
+        if rate is not None and (not math.isfinite(rate) or rate <= 0):
+            self.fail(
+                "cc.pacing_rate",
+                f"pacing rate {rate!r}B/s must be finite and positive",
+                time=now,
+                flow_id=flow_id,
+                cc=name,
+            )
+        law = check_laws.packet_invariants(name)
+        if law is not None:
+            error = law(cc)
+            if error is not None:
+                self.fail(
+                    "cc.law", error, time=now, flow_id=flow_id, cc=name
+                )
+
+    def state_transition(
+        self,
+        now: float,
+        cc_name: str,
+        flow_id: Optional[int],
+        old: Optional[str],
+        new: str,
+        substrate: str,
+    ) -> None:
+        """Validate a state-machine transition (both substrates)."""
+        self.checks_run += 1
+        self.note(
+            now,
+            "cc.state",
+            flow_id,
+            cc=cc_name,
+            substrate=substrate,
+            **{"from": old, "to": new},
+        )
+        states = check_laws.states_for(cc_name, substrate)
+        if states is not None and new not in states:
+            self.fail(
+                "cc.state",
+                f"{new!r} is not a {cc_name} state on the {substrate} "
+                f"substrate ({sorted(states)})",
+                time=now,
+                flow_id=flow_id,
+                cc=cc_name,
+            )
+        table = check_laws.transitions_for(cc_name, substrate)
+        if table is not None and (old, new) not in table:
+            self.fail(
+                "cc.transition",
+                f"illegal {cc_name} transition {old} -> {new} on the "
+                f"{substrate} substrate",
+                time=now,
+                flow_id=flow_id,
+                cc=cc_name,
+            )
+
+    # -- fluid substrate ---------------------------------------------------
+
+    def fluid_flow(self, now: float, flow: Any) -> None:
+        """Per-tick fluid-flow bounds."""
+        self.checks_run += 1
+        inflight = flow.inflight
+        if not math.isfinite(inflight) or inflight <= 0:
+            self.fail(
+                "fluid.inflight",
+                f"in-flight target {inflight!r}B must be finite and "
+                "positive for an active flow",
+                time=now,
+                flow_id=flow.flow_id,
+                cc=flow.name,
+            )
+        law = check_laws.fluid_invariants(flow.name)
+        if law is not None:
+            error = law(flow)
+            if error is not None:
+                self.fail(
+                    "fluid.law",
+                    error,
+                    time=now,
+                    flow_id=flow.flow_id,
+                    cc=flow.name,
+                )
+
+    def fluid_conservation(
+        self,
+        now: float,
+        *,
+        total_rate: float,
+        capacity: float,
+        queue: float,
+        buffer_bytes: float,
+        slack: float,
+        strict: bool,
+    ) -> None:
+        """Rate-conservation audit for one fluid tick.
+
+        ``strict`` is False on overflow ticks (queue clamped at the
+        buffer), where the clamped-queue approximation intentionally
+        lets the instantaneous rate sum overshoot capacity; the
+        non-negativity and queue-bound checks still apply there.
+        """
+        self.checks_run += 1
+        if not math.isfinite(total_rate) or total_rate < 0:
+            self.fail(
+                "fluid.rate_conservation",
+                f"flow rates sum to {total_rate!r}B/s (must be finite "
+                "and non-negative)",
+                time=now,
+            )
+        if strict and total_rate > capacity + slack:
+            self.fail(
+                "fluid.rate_conservation",
+                f"flow rates sum to {total_rate:.1f}B/s > capacity "
+                f"{capacity:.1f}B/s (+{slack:.1f}B/s tolerance)",
+                time=now,
+            )
+        if queue < -1e-9 or queue > buffer_bytes + 1e-9:
+            self.fail(
+                "fluid.queue_bounds",
+                f"queue {queue!r}B outside [0, {buffer_bytes}B]",
+                time=now,
+            )
+
+
+# -- process-wide default (mirrors repro.obs.bus) --------------------------
+
+_UNSET = object()
+_default: Any = _UNSET
+_env_checker: Optional[Checker] = None
+
+
+def enabled_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Whether ``REPRO_CHECK`` asks for a process-wide checker."""
+    env = os.environ if environ is None else environ
+    value = env.get("REPRO_CHECK", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def get_default() -> Optional[Checker]:
+    """The process-wide checker, or None.
+
+    An explicit :func:`set_default` always wins (including an explicit
+    ``None``, which disables checking even under ``REPRO_CHECK=1``);
+    otherwise the environment decides, with one shared lazily-created
+    checker per process.
+    """
+    global _env_checker
+    if _default is not _UNSET:
+        return _default
+    if not enabled_from_env():
+        return None
+    if _env_checker is None:
+        _env_checker = Checker()
+    return _env_checker
+
+
+def set_default(check: Optional[Checker]) -> None:
+    """Install ``check`` as the process-wide default (None disables)."""
+    global _default
+    _default = check
+
+
+def clear_default() -> None:
+    """Forget any explicit default; ``REPRO_CHECK`` decides again."""
+    global _default, _env_checker
+    _default = _UNSET
+    _env_checker = None
+
+
+def resolve(check: Optional[Checker]) -> Optional[Checker]:
+    """An explicit checker wins; otherwise the process default."""
+    return check if check is not None else get_default()
+
+
+@contextmanager
+def use(check: Optional[Checker]) -> Iterator[Optional[Checker]]:
+    """Temporarily install ``check`` as the process-wide default."""
+    global _default
+    previous = _default
+    _default = check
+    try:
+        yield check
+    finally:
+        _default = previous

@@ -1,0 +1,111 @@
+"""Structured invariant-violation error for the runtime sanitizer."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: One remembered telemetry event: (time, name, flow_id, fields).
+RecentEvent = Tuple[float, str, Optional[int], Dict[str, Any]]
+
+
+def _rebuild(
+    message: str,
+    check: str,
+    time: Optional[float],
+    flow_id: Optional[int],
+    cc: Optional[str],
+    fingerprint: Optional[str],
+    context: Dict[str, Any],
+    recent: List[RecentEvent],
+) -> "InvariantViolation":
+    violation = InvariantViolation(
+        message,
+        check=check,
+        time=time,
+        flow_id=flow_id,
+        cc=cc,
+        fingerprint=fingerprint,
+        context=context,
+        recent=recent,
+    )
+    return violation
+
+
+class InvariantViolation(Exception):
+    """A runtime invariant failed inside one of the simulators.
+
+    Raised by :class:`repro.check.Checker` at the first failing check;
+    the simulation is left mid-run by design (the state that tripped
+    the check is the evidence).
+
+    Attributes:
+        check: Dotted name of the failed invariant (see
+            ``docs/CHECKS.md`` for the catalogue).
+        message: Human-readable description of the failure.
+        time: Simulation time (seconds) at the failing check, if known.
+        flow_id: Offending flow, when the check is flow-scoped.
+        cc: Congestion-control algorithm of the offending flow.
+        fingerprint: Scenario fingerprint (see ``repro.exec``) when the
+            run was launched through the execution engine.
+        context: Free-form scenario context installed via
+            :meth:`repro.check.Checker.set_context`.
+        recent: The last N remembered events for the offending flow
+            (state transitions and other checker notes), oldest first.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        check: str = "",
+        time: Optional[float] = None,
+        flow_id: Optional[int] = None,
+        cc: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        context: Optional[Dict[str, Any]] = None,
+        recent: Optional[List[RecentEvent]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.check = check
+        self.time = time
+        self.flow_id = flow_id
+        self.cc = cc
+        self.fingerprint = fingerprint
+        self.context = dict(context or {})
+        self.recent = list(recent or [])
+
+    def __reduce__(self):  # Survives the worker → parent pickle hop.
+        return (
+            _rebuild,
+            (
+                self.message,
+                self.check,
+                self.time,
+                self.flow_id,
+                self.cc,
+                self.fingerprint,
+                self.context,
+                self.recent,
+            ),
+        )
+
+    def __str__(self) -> str:
+        parts = [f"[{self.check or 'check'}] {self.message}"]
+        if self.time is not None:
+            parts.append(f"t={self.time:.6f}s")
+        if self.flow_id is not None:
+            parts.append(f"flow={self.flow_id}")
+        if self.cc:
+            parts.append(f"cc={self.cc}")
+        if self.fingerprint:
+            parts.append(f"fingerprint={self.fingerprint[:12]}")
+        head = "  ".join(parts)
+        if not self.recent:
+            return head
+        lines = [head, f"last {len(self.recent)} events:"]
+        for when, name, flow_id, fields in self.recent:
+            detail = " ".join(f"{k}={v}" for k, v in fields.items())
+            flow = "-" if flow_id is None else str(flow_id)
+            lines.append(f"  t={when:.6f}s flow={flow} {name} {detail}")
+        return "\n".join(lines)

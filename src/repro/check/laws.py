@@ -1,0 +1,213 @@
+"""Per-CCA law invariants for the sanitizer.
+
+The tables here are keyed by *law module* — the same dotted paths the
+:data:`repro.cc.laws.registry.ALGORITHMS` table declares — so any
+controller whose registry entry points at ``repro.cc.laws.bbr`` (for
+example) is held to the BBRv1 state machine, regardless of which
+adapter class implements it.  Algorithms without a state machine
+(Reno, CUBIC, Vegas, Copa, Vivace) resolve to ``None`` and only the
+generic cwnd/in-flight bounds apply.
+
+All gains and state names are read from the law modules themselves;
+nothing is re-declared numerically here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.cc.laws import bbr as bbr_laws
+from repro.cc.laws import bbr2 as bbr2_laws
+from repro.cc.laws import registry
+
+#: Relative tolerance for pacing-gain legality (gains are assigned,
+#: not computed, so only representation error is expected).
+GAIN_TOLERANCE = 1e-9
+
+Transition = Tuple[str, str]
+
+V1_STATES: FrozenSet[str] = frozenset(
+    (
+        bbr_laws.STARTUP,
+        bbr_laws.DRAIN,
+        bbr_laws.PROBE_BW,
+        bbr_laws.PROBE_RTT,
+    )
+)
+
+V2_STATES: FrozenSet[str] = frozenset(
+    (
+        bbr2_laws.STARTUP,
+        bbr2_laws.DRAIN,
+        bbr2_laws.PROBE_DOWN,
+        bbr2_laws.CRUISE,
+        bbr2_laws.REFILL,
+        bbr2_laws.PROBE_UP,
+        bbr2_laws.PROBE_RTT,
+    )
+)
+
+#: The fluid adapters collapse DRAIN into the STARTUP→PROBE_BW tick and
+#: reuse the v1 phase names for both BBR generations.
+FLUID_BBR_STATES: FrozenSet[str] = frozenset(
+    (bbr_laws.STARTUP, bbr_laws.PROBE_BW, bbr_laws.PROBE_RTT)
+)
+
+V1_PACKET_TRANSITIONS: FrozenSet[Transition] = frozenset(
+    (
+        (bbr_laws.STARTUP, bbr_laws.DRAIN),
+        (bbr_laws.DRAIN, bbr_laws.PROBE_BW),
+        (bbr_laws.STARTUP, bbr_laws.PROBE_RTT),
+        (bbr_laws.DRAIN, bbr_laws.PROBE_RTT),
+        (bbr_laws.PROBE_BW, bbr_laws.PROBE_RTT),
+        (bbr_laws.PROBE_RTT, bbr_laws.PROBE_BW),
+        (bbr_laws.PROBE_RTT, bbr_laws.STARTUP),
+    )
+)
+
+V2_PACKET_TRANSITIONS: FrozenSet[Transition] = frozenset(
+    (
+        (bbr2_laws.STARTUP, bbr2_laws.DRAIN),
+        (bbr2_laws.DRAIN, bbr2_laws.PROBE_DOWN),
+        (bbr2_laws.PROBE_DOWN, bbr2_laws.CRUISE),
+        (bbr2_laws.CRUISE, bbr2_laws.REFILL),
+        (bbr2_laws.REFILL, bbr2_laws.PROBE_UP),
+        (bbr2_laws.PROBE_UP, bbr2_laws.PROBE_DOWN),
+        (bbr2_laws.DRAIN, bbr2_laws.PROBE_RTT),
+        (bbr2_laws.PROBE_DOWN, bbr2_laws.PROBE_RTT),
+        (bbr2_laws.CRUISE, bbr2_laws.PROBE_RTT),
+        (bbr2_laws.REFILL, bbr2_laws.PROBE_RTT),
+        (bbr2_laws.PROBE_UP, bbr2_laws.PROBE_RTT),
+        (bbr2_laws.PROBE_RTT, bbr2_laws.PROBE_DOWN),
+    )
+)
+
+FLUID_BBR_TRANSITIONS: FrozenSet[Transition] = frozenset(
+    (
+        (bbr_laws.STARTUP, bbr_laws.PROBE_BW),
+        (bbr_laws.STARTUP, bbr_laws.PROBE_RTT),
+        (bbr_laws.PROBE_BW, bbr_laws.PROBE_RTT),
+        (bbr_laws.PROBE_RTT, bbr_laws.STARTUP),
+        (bbr_laws.PROBE_RTT, bbr_laws.PROBE_BW),
+    )
+)
+
+#: Legal pacing gains per phase, packet substrate (where adapters
+#: expose ``pacing_gain`` directly).
+V1_PACKET_GAINS: Dict[str, Tuple[float, ...]] = {
+    bbr_laws.STARTUP: (bbr_laws.HIGH_GAIN,),
+    bbr_laws.DRAIN: (1.0 / bbr_laws.HIGH_GAIN,),
+    bbr_laws.PROBE_BW: tuple(sorted(set(bbr_laws.GAIN_CYCLE))),
+    bbr_laws.PROBE_RTT: (1.0,),
+}
+
+V2_PACKET_GAINS: Dict[str, Tuple[float, ...]] = {
+    bbr2_laws.STARTUP: (bbr2_laws.STARTUP_GAIN,),
+    bbr2_laws.DRAIN: (0.5,),
+    bbr2_laws.PROBE_DOWN: (bbr2_laws.PHASE_GAINS[bbr2_laws.PROBE_DOWN],),
+    bbr2_laws.CRUISE: (bbr2_laws.PHASE_GAINS[bbr2_laws.CRUISE],),
+    bbr2_laws.REFILL: (bbr2_laws.PHASE_GAINS[bbr2_laws.REFILL],),
+    bbr2_laws.PROBE_UP: (bbr2_laws.PHASE_GAINS[bbr2_laws.PROBE_UP],),
+    bbr2_laws.PROBE_RTT: (1.0,),
+}
+
+_STATE_SETS: Dict[Tuple[str, str], FrozenSet[str]] = {
+    ("repro.cc.laws.bbr", "packet"): V1_STATES,
+    ("repro.cc.laws.bbr", "fluid"): FLUID_BBR_STATES,
+    ("repro.cc.laws.bbr2", "packet"): V2_STATES,
+    ("repro.cc.laws.bbr2", "fluid"): FLUID_BBR_STATES,
+}
+
+_TRANSITION_SETS: Dict[Tuple[str, str], FrozenSet[Transition]] = {
+    ("repro.cc.laws.bbr", "packet"): V1_PACKET_TRANSITIONS,
+    ("repro.cc.laws.bbr", "fluid"): FLUID_BBR_TRANSITIONS,
+    ("repro.cc.laws.bbr2", "packet"): V2_PACKET_TRANSITIONS,
+    ("repro.cc.laws.bbr2", "fluid"): FLUID_BBR_TRANSITIONS,
+}
+
+_PACKET_GAIN_SETS: Dict[str, Dict[str, Tuple[float, ...]]] = {
+    "repro.cc.laws.bbr": V1_PACKET_GAINS,
+    "repro.cc.laws.bbr2": V2_PACKET_GAINS,
+}
+
+
+def _laws_module(cc_name: str) -> Optional[str]:
+    """The law-module path registered for ``cc_name``, if any."""
+    spec = registry.ALGORITHMS.get(cc_name.lower())
+    return None if spec is None else spec.laws
+
+
+def states_for(cc_name: str, substrate: str) -> Optional[FrozenSet[str]]:
+    """Legal state labels for ``cc_name`` on ``substrate``; None = any."""
+    laws = _laws_module(cc_name)
+    if laws is None:
+        return None
+    return _STATE_SETS.get((laws, substrate))
+
+
+def transitions_for(
+    cc_name: str, substrate: str
+) -> Optional[FrozenSet[Transition]]:
+    """Legal state transitions for ``cc_name``; None = unconstrained."""
+    laws = _laws_module(cc_name)
+    if laws is None:
+        return None
+    return _TRANSITION_SETS.get((laws, substrate))
+
+
+def gain_legal(gain: float, legal: Tuple[float, ...]) -> bool:
+    """Whether ``gain`` matches one of ``legal`` within tolerance."""
+    return any(
+        abs(gain - g) <= GAIN_TOLERANCE * max(1.0, abs(g)) for g in legal
+    )
+
+
+def _check_bbr_packet(laws: str, cc: object) -> Optional[str]:
+    states = _STATE_SETS[(laws, "packet")]
+    state = getattr(cc, "state", None)
+    if state not in states:
+        return f"state {state!r} is not a legal phase ({sorted(states)})"
+    gains = _PACKET_GAIN_SETS[laws].get(state)
+    gain = getattr(cc, "pacing_gain", None)
+    if gains is not None and gain is not None:
+        if not gain_legal(gain, gains):
+            return (
+                f"pacing gain {gain!r} illegal in {state} "
+                f"(legal: {list(gains)})"
+            )
+    return None
+
+
+def packet_invariants(
+    cc_name: str,
+) -> Optional[Callable[[object], Optional[str]]]:
+    """Per-ACK law invariant for ``cc_name``, or None.
+
+    The returned callable inspects a packet-substrate controller and
+    returns an error message (or None when all invariants hold).
+    """
+    laws = _laws_module(cc_name)
+    if laws not in _PACKET_GAIN_SETS:
+        return None
+    return lambda cc, _laws=laws: _check_bbr_packet(_laws, cc)
+
+
+def fluid_invariants(
+    cc_name: str,
+) -> Optional[Callable[[object], Optional[str]]]:
+    """Per-tick law invariant for a fluid flow, or None."""
+    laws = _laws_module(cc_name)
+    states = _STATE_SETS.get((laws, "fluid")) if laws else None
+    if states is None:
+        return None
+
+    def check(flow: object, _states: FrozenSet[str] = states):
+        state = getattr(flow, "state", None)
+        if state not in _states:
+            return (
+                f"state {state!r} is not a legal fluid phase "
+                f"({sorted(_states)})"
+            )
+        return None
+
+    return check

@@ -24,6 +24,10 @@ They also accept the execution-engine flags (see docs/PERFORMANCE.md):
 processes, ``--cache-dir [DIR]`` enables the content-addressed result
 cache (default location ``~/.cache/repro-bbr`` when DIR is omitted, or
 ``$REPRO_CACHE_DIR``), and ``--no-cache`` forces it off.
+
+``simulate``, ``figure``, and ``campaign run``/``resume`` accept
+``--check`` (equivalently ``REPRO_CHECK=1``) to enable the runtime
+invariant sanitizer; see docs/CHECKS.md.
 """
 
 from __future__ import annotations
@@ -89,6 +93,29 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=0.1,
         help="per-flow sampling period in seconds for --trace-out",
     )
+
+
+def _add_check_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (repro.check); "
+        "equivalent to REPRO_CHECK=1 (see docs/CHECKS.md)",
+    )
+
+
+def _activate_check(args: argparse.Namespace) -> None:
+    """Install the invariant sanitizer when ``--check`` was given.
+
+    The environment variable is set too so worker processes spawned by
+    the execution engine inherit checking.
+    """
+    if not getattr(args, "check", False):
+        return
+    from repro.check import Checker, set_default
+
+    os.environ["REPRO_CHECK"] = "1"
+    set_default(Checker())
 
 
 def _positive_int(value: str) -> int:
@@ -230,28 +257,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
     engine = _engine_from(args)
     wall_start = perf_counter()
-    if engine.cache is None and engine.jobs == 1:
-        result = run_mix(
-            link,
-            mix,
-            duration=args.duration,
-            backend=args.backend,
-            trials=args.trials,
-            seed=args.seed,
-            obs=obs,
-        )
-    else:
-        from repro.obs import use
-
-        with use(obs):
-            result = engine.run_mix(
+    try:
+        if engine.cache is None and engine.jobs == 1:
+            result = run_mix(
                 link,
                 mix,
                 duration=args.duration,
+                warmup=args.warmup,
                 backend=args.backend,
                 trials=args.trials,
                 seed=args.seed,
+                obs=obs,
             )
+        else:
+            from repro.obs import use
+
+            with use(obs):
+                result = engine.run_mix(
+                    link,
+                    mix,
+                    duration=args.duration,
+                    warmup=args.warmup,
+                    backend=args.backend,
+                    trials=args.trials,
+                    seed=args.seed,
+                )
+    except ValueError as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
     wall_time = perf_counter() - wall_start
     print(f"link: {link.describe()}  backend={args.backend}")
     for cc, count in mix:
@@ -315,7 +348,11 @@ def _write_simulate_trace(
         duration=args.duration,
         seed=args.seed,
         trials=args.trials,
-        warmup=args.duration / 6.0,
+        warmup=(
+            args.warmup
+            if args.warmup is not None
+            else args.duration / 6.0
+        ),
         obs=obs,
         wall_time_s=wall_time,
         flows=flow_rows,
@@ -655,12 +692,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="seconds excluded from the measurement window "
+        "(default: duration/6; must lie in [0, duration))",
+    )
+    p.add_argument(
         "--backend", choices=("packet", "fluid"), default="fluid"
     )
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     _add_obs_args(p)
     _add_exec_args(p)
+    _add_check_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -676,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     _add_exec_args(p)
+    _add_check_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser(
@@ -745,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted campaign; exit code 3)",
     )
     _add_exec_args(cp)
+    _add_check_args(cp)
     cp.set_defaults(func=_cmd_campaign_run)
 
     cp = campaign_sub.add_parser(
@@ -759,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop cleanly after N newly executed units (exit code 3)",
     )
     _add_exec_args(cp)
+    _add_check_args(cp)
     cp.set_defaults(func=_cmd_campaign_resume)
 
     cp = campaign_sub.add_parser(
@@ -806,6 +854,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.check import InvariantViolation
+
     args = build_parser().parse_args(argv)
     if getattr(args, "no_cache", False) and (
         getattr(args, "cache_dir", None) is not None
@@ -815,7 +865,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    return args.func(args)
+    _activate_check(args)
+    try:
+        return args.func(args)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -34,6 +34,25 @@ __all__ = ["ResultCache", "default_cache_root"]
 logger = logging.getLogger("repro.exec.cache")
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory (persists the rename itself).
+
+    Some platforms/filesystems refuse to open or fsync directories;
+    durability of the *entry contents* does not depend on this, so any
+    OSError is swallowed.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def default_cache_root() -> Path:
     """The cache directory used when none is given explicitly."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -100,11 +119,13 @@ class ResultCache:
         return payload
 
     def put(self, fingerprint: str, payload: Dict[str, Any]) -> Path:
-        """Atomically store ``payload`` under ``fingerprint``.
+        """Atomically and durably store ``payload`` under ``fingerprint``.
 
         Returns the entry path.  The encoding is canonical (sorted keys),
         so storing an identical payload twice produces byte-identical
-        files.
+        files.  The temp file is fsync'd before the rename (and the
+        shard directory after it, best-effort), so a crash straddling
+        ``put`` can never leave a truncated entry at the final path.
         """
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -123,6 +144,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -130,6 +153,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        _fsync_dir(path.parent)
         return path
 
     def stats(self) -> Dict[str, Any]:

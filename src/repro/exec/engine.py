@@ -80,8 +80,14 @@ def _execute_point(point: ScenarioPoint) -> Tuple["ScenarioResult", float]:
 
 
 def _run_point(point: ScenarioPoint, obs: Any) -> "ScenarioResult":
+    from repro.check import resolve as resolve_check
     from repro.experiments.runner import run_mix
 
+    check = resolve_check(None)
+    if check is not None:
+        # Violations raised inside this point should carry its cache
+        # identity (run_mix adds the scenario parameters itself).
+        check.set_context(fingerprint=point.fingerprint())
     return run_mix(
         point.link,
         list(point.mix),

@@ -119,6 +119,11 @@ class ScenarioPoint:
         object.__setattr__(self, "mix", mix)
         if self.warmup is None:
             object.__setattr__(self, "warmup", self.duration / 6.0)
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError(
+                f"warmup must lie in [0, duration), got warmup="
+                f"{self.warmup} with duration={self.duration}"
+            )
         if self.rtts is not None:
             items = (
                 self.rtts.items()

@@ -145,10 +145,25 @@ def run_mix(
         raise ValueError(f"trials must be >= 1, got {trials}")
     if warmup is None:
         warmup = duration / 6.0
+    if not 0 <= warmup < duration:
+        raise ValueError(
+            f"warmup must lie in [0, duration), got warmup={warmup} "
+            f"with duration={duration}"
+        )
 
+    from repro.check import resolve as resolve_check
     from repro.obs.bus import resolve
 
     obs = resolve(obs)
+    check = resolve_check(None)
+    if check is not None:
+        check.set_context(
+            backend=backend,
+            mix=[[cc, count] for cc, count in mix],
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
 
     per_flow_samples: Dict[str, List[float]] = {}
     aggregate_samples: Dict[str, List[float]] = {}

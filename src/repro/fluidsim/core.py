@@ -39,6 +39,7 @@ from repro.sim.network import FlowResult, SimulationResult
 from repro.util.config import LinkConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 #: Loss-assignment modes (CUBIC synchronization levels, §2.4).
@@ -120,6 +121,12 @@ class FluidSimulation:
             ``sample_interval`` and ``trace_interval`` is unset, trace
             snapshots run at that interval and are mirrored onto the bus
             as per-flow ``sample`` records.
+        check: Optional :class:`repro.check.Checker`, attached to every
+            fluid flow (validating BBR phase transitions) and run each
+            tick for in-flight bounds and rate conservation (flow rates
+            sum to ≤ capacity within tolerance).  Defaults to the
+            process-wide checker (``--check`` / ``REPRO_CHECK=1``),
+            usually None, i.e. disabled.
     """
 
     def __init__(
@@ -132,7 +139,9 @@ class FluidSimulation:
         start_jitter: float = 0.0,
         trace_interval: Optional[float] = None,
         obs: Optional["Telemetry"] = None,
+        check: Optional["Checker"] = None,
     ) -> None:
+        from repro.check import resolve as resolve_check
         from repro.fluidsim.flows import make_fluid_flow
 
         if not flows:
@@ -145,6 +154,7 @@ class FluidSimulation:
         self.loss_mode = loss_mode
         self.rng = random.Random(seed)
         self.obs = obs
+        self.check = check = resolve_check(check)
 
         self.specs = list(flows)
         self.flows = []
@@ -162,6 +172,7 @@ class FluidSimulation:
                 **spec.cc_kwargs,
             )
             flow.obs = obs
+            flow.check = check
             self.flows.append(flow)
 
         min_rtt = min(f.rtt for f in self.flows)
@@ -169,6 +180,10 @@ class FluidSimulation:
         if self.dt <= 0:
             raise ValueError(f"dt must be positive, got {self.dt}")
         self._equal_rtt = all(f.rtt == self.flows[0].rtt for f in self.flows)
+        # Rate-conservation tolerance: relative float slack plus the
+        # bisection's 1-byte queue tolerance amplified by 1/min_rtt
+        # (d(rate)/d(queue-bytes) is bounded by 1/rtt_min).
+        self._rate_slack = link.capacity * 1e-6 + 2.0 / min_rtt
 
         # Loss-perception state for the proportional mode.
         self._drop_accumulator = [0.0] * len(self.flows)
@@ -299,6 +314,7 @@ class FluidSimulation:
         wall_start = perf_counter()
         capacity = self.link.capacity
         buffer_bytes = self.link.buffer_bytes
+        check = self.check
         dt = self.dt
         n = len(self.flows)
         ctx = TickContext()
@@ -331,6 +347,8 @@ class FluidSimulation:
                 ctx.lost_bytes = lost_this_tick[i]
                 flow.tick(ctx)
                 lost_this_tick[i] = 0.0
+                if check is not None:
+                    check.fluid_flow(now, flow)
 
             inflights = [
                 f.inflight if self._is_active(i, now) else 0.0
@@ -384,6 +402,19 @@ class FluidSimulation:
                 size = self.specs[i].size_bytes
                 if size is not None and self._delivered[i] >= size:
                     self._finished[i] = True
+            if check is not None:
+                # Overflow ticks (queue clamped at the buffer) are
+                # exempt from the strict ≤-capacity bound: the clamped
+                # queue intentionally understates the delay there.
+                check.fluid_conservation(
+                    now,
+                    total_rate=utilization,
+                    capacity=capacity,
+                    queue=queue,
+                    buffer_bytes=buffer_bytes,
+                    slack=self._rate_slack,
+                    strict=queue < buffer_bytes - 1e-9,
+                )
             if measure_started:
                 self._queue_integral += queue * dt
                 self._time_simulated += dt
@@ -499,11 +530,14 @@ def run_fluid(
     seed: int = 0,
     start_jitter: float = 0.0,
     obs: Optional["Telemetry"] = None,
+    check: Optional["Checker"] = None,
 ) -> SimulationResult:
     """Convenience one-shot fluid simulation run.
 
     ``obs`` defaults to the process-wide telemetry bus (usually None,
     i.e. disabled); pass one explicitly to instrument a single run.
+    ``check`` likewise defaults to the process-wide invariant checker
+    (see :mod:`repro.check`).
     """
     from repro.obs.bus import resolve
 
@@ -515,5 +549,6 @@ def run_fluid(
         seed=seed,
         start_jitter=start_jitter,
         obs=resolve(obs),
+        check=check,
     )
     return sim.run(duration, warmup)

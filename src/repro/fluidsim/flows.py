@@ -37,6 +37,7 @@ from repro.fluidsim.core import TickContext
 from repro.util.filters import WindowedMax, WindowedMin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 
@@ -68,6 +69,8 @@ class FluidFlow:
         #: every emission site guards on that so uninstrumented sweeps pay
         #: a single attribute test per event site.
         self.obs: Optional["Telemetry"] = None
+        #: Optional invariant checker; same guard discipline as ``obs``.
+        self.check: Optional["Checker"] = None
 
     @property
     def state(self) -> Optional[str]:
@@ -84,6 +87,11 @@ class FluidFlow:
 
     def emit_state(self, now: float, old: str, new: str) -> None:
         """Emit a ``cc.state`` transition event (BBR-family phases)."""
+        check = self.check
+        if check is not None:
+            check.state_transition(
+                now, self.name, self.flow_id, old, new, substrate="fluid"
+            )
         obs = self.obs
         if obs is not None:
             obs.event(

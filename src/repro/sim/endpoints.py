@@ -20,6 +20,7 @@ from repro.sim.packet import Ack, LossEvent, Packet, RateSample
 from repro.sim.stats import FlowStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 #: Packets of reordering tolerated before a gap is declared a loss
@@ -43,6 +44,10 @@ class Sender:
         obs: Optional telemetry bus; loss declarations emit
             ``flow.loss``/``flow.retransmit`` events and RTO firings
             emit ``flow.rto``.
+        check: Optional :class:`repro.check.Checker`.  When set, each
+            processed ACK runs per-flow bounds checks (in-flight ≥ 0,
+            cwnd ≥ floor, legal pacing gain/phase for BBR-family
+            controllers; checks ``flow.*`` / ``cc.*``).
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class Sender:
         start_time: float = 0.0,
         max_bytes: Optional[int] = None,
         obs: Optional["Telemetry"] = None,
+        check: Optional["Checker"] = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
@@ -66,6 +72,7 @@ class Sender:
         self.mss = cc.mss
         self.max_bytes = max_bytes
         self.obs = obs
+        self.check = check
 
         self._next_seq = 0
         self._in_flight_bytes = 0
@@ -191,6 +198,11 @@ class Sender:
         )
         self.cc.on_ack(sample)
         self.cc.clamp_cwnd()
+        check = self.check
+        if check is not None:
+            check.flow_update(
+                now, self.flow_id, self.cc, self._in_flight_bytes
+            )
         self._maybe_send()
 
     def _detect_losses(self, acked_seq: int) -> None:

@@ -13,6 +13,7 @@ import time
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 
@@ -32,14 +33,22 @@ class EventLoop:
             ``sim.run``).  The loop always maintains
             :attr:`events_processed` regardless, so runs are auditable
             even with telemetry disabled.
+        check: Optional :class:`repro.check.Checker`.  When set, every
+            dispatch is audited for clock monotonicity and a bounded
+            pending queue (checks ``sim.clock`` / ``sim.queue_bound``).
     """
 
-    def __init__(self, obs: Optional["Telemetry"] = None) -> None:
+    def __init__(
+        self,
+        obs: Optional["Telemetry"] = None,
+        check: Optional["Checker"] = None,
+    ) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
         self.obs = obs
+        self.check = check
         #: Total events executed by this loop across all run calls.
         self.events_processed = 0
 
@@ -71,6 +80,7 @@ class EventLoop:
         self._running = True
         queue = self._queue
         obs = self.obs
+        check = self.check
         wall_start = time.perf_counter() if obs is not None else 0.0
         processed = 0
         try:
@@ -79,6 +89,8 @@ class EventLoop:
                 if when > end_time:
                     break
                 heapq.heappop(queue)
+                if check is not None:
+                    check.event_loop_tick(when, self._now, len(queue))
                 self._now = when
                 callback()
                 processed += 1
@@ -100,10 +112,13 @@ class EventLoop:
         count = 0
         queue = self._queue
         obs = self.obs
+        check = self.check
         wall_start = time.perf_counter() if obs is not None else 0.0
         try:
             while queue and self._running:
                 when, _seq, callback = heapq.heappop(queue)
+                if check is not None:
+                    check.event_loop_tick(when, self._now, len(queue))
                 self._now = when
                 callback()
                 count += 1

@@ -17,6 +17,7 @@ from repro.sim.engine import EventLoop
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
 
 
@@ -81,6 +82,12 @@ class Link:
             ``link.dropped_bytes`` counters, and the queue depth is
             sampled into the ``link.queue_bytes`` gauge on every
             enqueue.
+        check: Optional :class:`repro.check.Checker`.  When set, every
+            enqueue and service completion runs a byte-conservation
+            audit: offered bytes must equal forwarded + dropped +
+            queued + in-service, the queue must respect the buffer
+            bound, and the occupancy-integral gauge must track the
+            queue exactly (checks ``link.*``).
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class Link:
         on_drop: Optional[Callable[[Packet], None]] = None,
         aqm: Optional[object] = None,
         obs: Optional["Telemetry"] = None,
+        check: Optional["Checker"] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -110,10 +118,15 @@ class Link:
         self.on_drop = on_drop
         self.aqm = aqm
         self.obs = obs
+        self.check = check
         self.stats = LinkStats()
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
         self._busy = False
+        # Conservation-audit tallies, maintained only when a checker is
+        # attached (the audit needs every byte offered since t=0).
+        self._offered_bytes = 0
+        self._in_service_bytes = 0
 
     @property
     def queued_bytes(self) -> int:
@@ -131,14 +144,21 @@ class Link:
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the link; returns False if it was dropped."""
+        check = self.check
+        if check is not None:
+            self._offered_bytes += packet.size
         if self.aqm is not None and self.aqm.on_enqueue(
             self._queued_bytes
         ):
             self._record_drop(packet)
+            if check is not None:
+                self._audit(check)
             return False
         if self._busy:
             if self._queued_bytes + packet.size > self.buffer_bytes:
                 self._record_drop(packet)
+                if check is not None:
+                    self._audit(check)
                 return False
             self._queue.append((packet, self.loop.now))
             self._queued_bytes += packet.size
@@ -147,7 +167,22 @@ class Link:
             self._start_service(packet)
         if self.obs is not None:
             self.obs.gauge("link.queue_bytes", self._queued_bytes)
+        if check is not None:
+            self._audit(check)
         return True
+
+    def _audit(self, check: "Checker") -> None:
+        """Byte-conservation audit (sanitizer-enabled runs only)."""
+        check.link_audit(
+            self.loop.now,
+            offered=self._offered_bytes,
+            forwarded=self.stats.forwarded_bytes,
+            dropped=self.stats.dropped_bytes,
+            queued=self._queued_bytes,
+            in_service=self._in_service_bytes,
+            buffer_bytes=self.buffer_bytes,
+            gauge=self.stats._last_occupancy,
+        )
 
     def _record_drop(self, packet: Packet) -> None:
         self.stats.dropped_packets += 1
@@ -167,12 +202,17 @@ class Link:
 
     def _start_service(self, packet: Packet) -> None:
         self._busy = True
+        if self.check is not None:
+            self._in_service_bytes = packet.size
         service_time = packet.size / self.capacity
         self.loop.call_later(
             service_time, lambda p=packet: self._finish_service(p)
         )
 
     def _finish_service(self, packet: Packet) -> None:
+        check = self.check
+        if check is not None:
+            self._in_service_bytes = 0
         self.stats.forwarded_packets += 1
         self.stats.forwarded_bytes += packet.size
         # Propagation: deliver after the one-way delay.
@@ -189,8 +229,12 @@ class Link:
                 self._record_drop(nxt)
                 continue
             self._start_service(nxt)
+            if check is not None:
+                self._audit(check)
             return
         self._busy = False
+        if check is not None:
+            self._audit(check)
 
 
 class DelayLine:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.core import Checker
     from repro.obs.bus import Telemetry
     from repro.sim.aqm import CoDelConfig, REDConfig
 
@@ -109,6 +110,10 @@ class DumbbellNetwork:
             the bus has a ``sample_interval``, a
             :class:`repro.sim.trace.CwndTracer` is attached that streams
             periodic controller samples onto the bus.
+        check: Optional :class:`repro.check.Checker`, threaded through
+            the same components as ``obs``.  Defaults to the
+            process-wide checker (installed by ``--check`` or
+            ``REPRO_CHECK=1``), which is usually None, i.e. disabled.
     """
 
     def __init__(
@@ -119,18 +124,22 @@ class DumbbellNetwork:
         red: Optional["REDConfig"] = None,
         codel: Optional["CoDelConfig"] = None,
         obs: Optional["Telemetry"] = None,
+        check: Optional["Checker"] = None,
     ) -> None:
+        from repro.check import resolve as resolve_check
         from repro.sim.aqm import RED, CoDel
 
         if not flows:
             raise ValueError("at least one flow is required")
         if red is not None and codel is not None:
             raise ValueError("choose at most one AQM (red or codel)")
+        check = resolve_check(check)
         self.link_config = link
         self.flow_specs = list(flows)
         self.mss = mss if mss is not None else link.mss
         self.obs = obs
-        self.loop = EventLoop(obs=obs)
+        self.check = check
+        self.loop = EventLoop(obs=obs, check=check)
 
         aqm = None
         if red is not None:
@@ -145,6 +154,7 @@ class DumbbellNetwork:
             deliver=self._route_data,
             aqm=aqm,
             obs=obs,
+            check=check,
         )
 
         self.senders: List[Sender] = []
@@ -157,6 +167,7 @@ class DumbbellNetwork:
                 raise ValueError(f"flow {flow_id}: rtt must be positive")
             cc = make_controller(spec.cc, mss=self.mss, **spec.cc_kwargs)
             cc.obs = obs
+            cc.check = check
             cc.flow_id = flow_id
             stats = FlowStats(flow_id)
             sender = Sender(
@@ -168,6 +179,7 @@ class DumbbellNetwork:
                 start_time=spec.start_time,
                 max_bytes=spec.max_bytes,
                 obs=obs,
+                check=check,
             )
             ack_path = DelayLine(self.loop, rtt / 2.0, sender.on_ack)
             receiver = Receiver(self.loop, stats, ack_path.send)
@@ -244,14 +256,23 @@ def run_dumbbell(
     red: Optional["REDConfig"] = None,
     codel: Optional["CoDelConfig"] = None,
     obs: Optional["Telemetry"] = None,
+    check: Optional["Checker"] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a dumbbell, run it, return the result.
 
     ``obs`` defaults to the process-wide telemetry bus (usually None,
     i.e. disabled); pass one explicitly to instrument a single run.
+    ``check`` likewise defaults to the process-wide invariant checker
+    (see :mod:`repro.check`).
     """
     from repro.obs.bus import resolve
 
     return DumbbellNetwork(
-        link, flows, mss=mss, red=red, codel=codel, obs=resolve(obs)
+        link,
+        flows,
+        mss=mss,
+        red=red,
+        codel=codel,
+        obs=resolve(obs),
+        check=check,
     ).run(duration, warmup)

@@ -61,12 +61,26 @@ class FlowStats:
             return None
         return self._rtt_sum / self._rtt_count
 
+    def _edge_bin(self, t: float) -> int:
+        """Rounding-safe bin index for a measurement-window edge.
+
+        ``int(t / bin_width)`` truncates, so float error below an exact
+        multiple (``0.3 / 0.1 == 2.999...``) pulls the edge one bin
+        early and leaks warm-up deliveries into the measured window.
+        Snap quotients within relative 1e-9 of an integer to it.
+        """
+        quotient = t / self.bin_width
+        nearest = round(quotient)
+        if abs(quotient - nearest) <= 1e-9 * max(1.0, abs(nearest)):
+            return int(nearest)
+        return int(quotient)
+
     def throughput(self, start: float, end: float) -> float:
         """Mean delivered rate in bytes/second over ``[start, end)``."""
         if end <= start:
             raise ValueError(f"empty interval [{start}, {end})")
-        first = int(start / self.bin_width)
-        last = int(end / self.bin_width)
+        first = self._edge_bin(start)
+        last = self._edge_bin(end)
         total = sum(
             size for idx, size in self._bins.items() if first <= idx < last
         )
@@ -74,7 +88,7 @@ class FlowStats:
 
     def throughput_series(self, end: float) -> List[float]:
         """Delivered rate per bin (bytes/second) from time 0 to ``end``."""
-        n_bins = int(end / self.bin_width)
+        n_bins = self._edge_bin(end)
         return [
             self._bins.get(i, 0) / self.bin_width for i in range(n_bins)
         ]

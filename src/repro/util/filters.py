@@ -27,9 +27,20 @@ class WindowedFilter:
         self.window = window
         self._better = better
         self._samples: Deque[Tuple[float, float]] = deque()
+        self._latest: Optional[float] = None
 
     def update(self, now: float, value: float) -> float:
-        """Insert a sample taken at ``now`` and return the current best."""
+        """Insert a sample taken at ``now`` and return the current best.
+
+        The deque is ordered by time, so a ``now`` behind the newest
+        sample would silently corrupt expiry.  Non-monotonic clocks are
+        clamped to the newest sample time (the sanitizer independently
+        flags the non-monotonic event loop that would cause one).
+        """
+        if self._latest is not None and now < self._latest:
+            now = self._latest
+        else:
+            self._latest = now
         self._expire(now)
         while self._samples and self._better(value, self._samples[-1][1]):
             self._samples.pop()

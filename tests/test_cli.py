@@ -538,3 +538,129 @@ def test_cc_list_substrate_sets_match(capsys):
     }
     assert listed == set(available_algorithms())
     assert listed == set(available_fluid_algorithms())
+
+
+# -- invariant sanitizer and warmup flags (PR 5) ----------------------------
+
+
+@pytest.fixture
+def _clean_check_default():
+    import os
+
+    from repro.check import clear_default
+
+    clear_default()
+    saved = os.environ.pop("REPRO_CHECK", None)
+    yield
+    clear_default()
+    if saved is not None:
+        os.environ["REPRO_CHECK"] = saved
+    else:
+        os.environ.pop("REPRO_CHECK", None)
+
+
+def test_simulate_with_check_flag(_clean_check_default, capsys):
+    import os
+
+    from repro.check import get_default
+
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "10",
+            "--check",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cubic" in out and "bbr" in out
+    # --check installs a process default and exports REPRO_CHECK so
+    # engine worker processes inherit it.
+    assert get_default() is not None
+    assert get_default().checks_run > 0
+    assert os.environ.get("REPRO_CHECK") == "1"
+
+
+def test_simulate_packet_with_check_flag(_clean_check_default, capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "10",
+            "--duration",
+            "5",
+            "--backend",
+            "packet",
+            "--check",
+        ]
+    )
+    assert code == 0
+    assert "cubic" in capsys.readouterr().out
+
+
+def test_simulate_custom_warmup(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "10",
+            "--warmup",
+            "2",
+        ]
+    )
+    assert code == 0
+    assert "cubic" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("warmup", ["-1", "10", "11"])
+def test_simulate_invalid_warmup_exits_2(warmup, capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--duration",
+            "10",
+            "--warmup",
+            warmup,
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "warmup must lie in" in err
+
+
+def test_campaign_run_accepts_check_flag(
+    _clean_check_default, tmp_path, capsys
+):
+    spec = tmp_path / "smoke.toml"
+    spec.write_text(
+        """\
+name = "check-smoke"
+[link]
+bandwidth_mbps = 10.0
+rtt_ms = 20.0
+buffer_bdp = 2.0
+[defaults]
+duration = 4.0
+backend = "fluid"
+mix = "cubic:1"
+[[axes]]
+name = "seed"
+values = [0]
+"""
+    )
+    out_dir = tmp_path / "out"
+    code = main(
+        ["campaign", "run", str(spec), "--out", str(out_dir), "--check"]
+    )
+    assert code == 0
+    assert (out_dir / "results.csv").exists()

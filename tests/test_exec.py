@@ -396,3 +396,103 @@ def test_broken_pool_results_cached_after_retry(tmp_path, monkeypatch):
     warm.run_points(batch)
     assert warm.stats["simulated"] == 0
     assert warm.stats["cache_hits"] == 2
+
+
+# -- warmup validation (PR 5 satellite) -------------------------------------
+
+
+@pytest.mark.parametrize("warmup", [-0.5, 8.0, 9.0])
+def test_scenario_point_rejects_out_of_range_warmup(warmup):
+    with pytest.raises(ValueError, match="warmup must lie in"):
+        ScenarioPoint(
+            link=link(),
+            mix=(("cubic", 1),),
+            duration=8.0,
+            warmup=warmup,
+        )
+
+
+def test_scenario_point_accepts_boundary_warmups():
+    zero = ScenarioPoint(
+        link=link(), mix=(("cubic", 1),), duration=8.0, warmup=0.0
+    )
+    assert zero.warmup == 0.0
+    near = ScenarioPoint(
+        link=link(), mix=(("cubic", 1),), duration=8.0, warmup=7.999
+    )
+    assert near.warmup == pytest.approx(7.999)
+
+
+def test_run_mix_rejects_out_of_range_warmup():
+    with pytest.raises(ValueError, match="warmup must lie in"):
+        run_mix(link(), [("cubic", 1)], duration=8.0, warmup=8.0)
+    with pytest.raises(ValueError, match="warmup must lie in"):
+        run_mix(link(), [("cubic", 1)], duration=8.0, warmup=-1.0)
+
+
+# -- cache durability (PR 5 satellite) --------------------------------------
+
+
+def test_cache_put_fsyncs_before_rename(tmp_path, monkeypatch):
+    import os as os_mod
+
+    calls = []
+    real_fsync, real_replace = os_mod.fsync, os_mod.replace
+
+    def spy_fsync(fd):
+        calls.append("fsync")
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        calls.append("replace")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr("repro.exec.cache.os.fsync", spy_fsync)
+    monkeypatch.setattr("repro.exec.cache.os.replace", spy_replace)
+    cache = ResultCache(tmp_path)
+    point = points(1)[0]
+    cache.put(point.fingerprint(), {"throughput": 1.0})
+    # Contents must be durable before the entry becomes visible; the
+    # trailing fsync is the best-effort shard-directory sync.
+    assert calls[0] == "fsync"
+    assert "replace" in calls
+    assert calls.index("fsync") < calls.index("replace")
+
+
+def test_cache_crash_before_rename_leaves_no_entry(tmp_path, monkeypatch):
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash at the rename boundary")
+
+    monkeypatch.setattr("repro.exec.cache.os.replace", exploding_replace)
+    cache = ResultCache(tmp_path)
+    fingerprint = points(1)[0].fingerprint()
+    with pytest.raises(OSError):
+        cache.put(fingerprint, {"throughput": 1.0})
+    # The partially-written temp was cleaned up and the final key is
+    # absent: readers can never observe a truncated entry.
+    assert cache.get(fingerprint) is None
+    assert fingerprint not in cache
+    shard = tmp_path / fingerprint[:2]
+    assert not any(shard.glob("*.tmp"))
+
+
+def test_cache_dir_fsync_failure_is_swallowed(tmp_path, monkeypatch):
+    import os as os_mod
+
+    from repro.exec import cache as cache_mod
+
+    real_open = os_mod.open
+
+    def refusing_open(path, flags, *args, **kwargs):
+        # Refuse directory opens only (some platforms genuinely do);
+        # tempfile.mkstemp file opens must keep working.
+        if os_mod.path.isdir(path):
+            raise OSError("directories not openable on this platform")
+        return real_open(path, flags, *args, **kwargs)
+
+    monkeypatch.setattr("repro.exec.cache.os.open", refusing_open)
+    cache_mod._fsync_dir(tmp_path)  # Must not raise.
+    cache = ResultCache(tmp_path)
+    fingerprint = points(1)[0].fingerprint()
+    cache.put(fingerprint, {"throughput": 2.0})
+    assert cache.get(fingerprint) == {"throughput": 2.0}

@@ -101,3 +101,27 @@ class TestEwma:
         e.update(5.0)
         e.reset()
         assert e.value is None
+
+
+class TestNonMonotonicClock:
+    def test_regressed_time_is_clamped(self):
+        f = WindowedMax(10.0)
+        f.update(5.0, 1.0)
+        # A sample 'from the past' must not corrupt the time-ordered
+        # deque; it is treated as arriving at the newest known time.
+        f.update(3.0, 2.0)
+        assert f.get() == 2.0
+        assert all(t == 5.0 for t, _ in f._samples)
+
+    def test_clamped_sample_expires_with_the_window(self):
+        f = WindowedMin(10.0)
+        f.update(5.0, 9.0)
+        f.update(1.0, 4.0)  # Clamped to t=5.
+        assert f.update(14.0, 8.0) == 4.0   # Still inside the window.
+        assert f.update(15.1, 8.0) == 8.0   # Expired with the t=5 batch.
+
+    def test_forward_time_still_advances(self):
+        f = WindowedMax(10.0)
+        f.update(3.0, 1.0)
+        f.update(5.0, 2.0)
+        assert f._latest == 5.0

@@ -63,3 +63,41 @@ def test_loss_rate_zero_without_sends():
 def test_invalid_bin_width():
     with pytest.raises(ValueError):
         FlowStats(0, bin_width=0.0)
+
+
+def test_warmup_edge_binning_regression():
+    # 0.3 / 0.1 == 2.9999999999999996, so a plain int() edge pulls the
+    # window one bin early and leaks warm-up deliveries into the
+    # measurement (the paper's warmup=duration/6 hits this constantly).
+    s = FlowStats(0, bin_width=0.1)
+    s.record_delivery(0.25, 9000)  # Inside warmup: bin 2.
+    s.record_delivery(0.31, 3000)  # Measured: bin 3.
+    assert s.throughput(0.3, 0.6) == pytest.approx(3000.0 / 0.3)
+
+
+def test_warmup_edge_binning_many_edges():
+    # Every duration/6 warm-up edge used by the figures must bin exactly.
+    s = FlowStats(0, bin_width=0.1)
+    for duration in (60.0, 90.0, 120.0):
+        warmup = duration / 6.0
+        s._bins.clear()
+        s.record_delivery(warmup - 0.05, 7777)   # Last warmup bin.
+        s.record_delivery(warmup + 0.05, 1200)   # First measured bin.
+        expected = 1200.0 / (duration - warmup)
+        assert s.throughput(warmup, duration) == pytest.approx(expected)
+
+
+def test_throughput_series_edge_binning():
+    # int(0.3 / 0.1) == 2 would silently drop the final bin.
+    s = FlowStats(0, bin_width=0.1)
+    s.record_delivery(0.25, 500)
+    series = s.throughput_series(0.3)
+    assert len(series) == 3
+    assert series[2] == pytest.approx(5000.0)
+
+
+def test_edge_binning_truncates_between_bins():
+    # A genuinely mid-bin edge still truncates (no over-rounding).
+    s = FlowStats(0, bin_width=0.1)
+    assert s._edge_bin(0.34999) == 3
+    assert s._edge_bin(0.35001) == 3
