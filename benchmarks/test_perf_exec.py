@@ -185,3 +185,38 @@ def test_check_disabled_is_free():
         assert plain.loss_rate == checked.loss_rate
 
     assert median(plain_times) < median(checked_times) * 1.25
+
+
+def test_trace_disabled_is_free():
+    """The span-tracing regression guard (paired comparison, no
+    pytest-benchmark).  A tracing-off run must (a) produce results
+    identical to a tracing-on run — spans observe, never perturb — and
+    (b) not pay materially for the instrumentation: every site guards
+    on a single ``tracer is not None`` attribute test, so disabled
+    runs are bounded by enabled runs plus noise.
+    """
+    from statistics import median
+
+    from repro.obs.trace import Tracer
+
+    points = _sweep_points(duration=10.0)[:2]
+
+    def run(tracer):
+        start = time.perf_counter()
+        results = Engine(tracer=tracer).run_points(points)
+        return results, time.perf_counter() - start
+
+    run(None)  # Warm up interpreter state once.
+
+    plain_times, traced_times = [], []
+    plain_results = traced_results = None
+    for _ in range(5):
+        plain_results, elapsed = run(None)
+        plain_times.append(elapsed)
+        tracer = Tracer()
+        traced_results, elapsed = run(tracer)
+        traced_times.append(elapsed)
+        assert tracer.spans  # Spans were actually recorded.
+
+    assert plain_results == traced_results  # Tracing never changes numbers.
+    assert median(plain_times) < median(traced_times) * 1.25

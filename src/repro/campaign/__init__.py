@@ -29,6 +29,7 @@ from repro.campaign.spec import (
     parse_mix,
     parse_spec,
 )
+from repro.campaign.status import campaign_progress, render_status
 from repro.campaign.studies import (
     bundled_campaign_dir,
     fig9_campaign,
@@ -48,7 +49,9 @@ __all__ = [
     "Unit",
     "UnitOutcome",
     "bundled_campaign_dir",
+    "campaign_progress",
     "execute_units",
+    "render_status",
     "expand_axes",
     "expand_units",
     "fig9_campaign",

@@ -20,14 +20,34 @@ the result cache) re-simulates nothing.
 Output rows are assembled in *unit order*, not completion order, so an
 interrupted-and-resumed campaign writes a byte-identical CSV to an
 uninterrupted one.
+
+Observability (see ``docs/OBSERVABILITY.md``): when a tracer is active
+(:mod:`repro.obs.trace`), the run is bracketed by a ``campaign`` span
+with one ``stage`` span per stage, a ``unit`` span per adaptive unit,
+and a ``journal`` span per durable checkpoint append; engine-level
+``cache_lookup``/``point``/``simulate`` spans nest inside.  A
+:class:`repro.obs.progress.ProgressTracker` (created internally unless
+one is passed) counts units done/total per stage and writes an
+atomically-replaced ``progress.json`` sidecar next to the journal after
+every unit — the feed for ``repro-bbr top`` and ``--progress``.
+
+Adaptive units at one axis combination are independent searches, so when
+the engine has ``jobs > 1`` (and no ``stop_after`` exactness contract is
+in force) they run concurrently on threads, each bisection evaluation
+dispatched to the engine's shared worker pool.  Results are unchanged —
+every unit seeds its own simulations — but the pool stays busy instead
+of draining one bisection at a time.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
+from threading import Lock
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -35,6 +55,8 @@ from repro.campaign.expand import Unit, expand_units
 from repro.campaign.journal import Journal, JournalError, JournalRecord
 from repro.campaign.spec import CampaignSpec, parse_spec
 from repro.exec.engine import Engine, resolve as resolve_engine
+from repro.obs.progress import PROGRESS_NAME, ProgressTracker
+from repro.obs.trace import resolve as resolve_tracer
 
 __all__ = [
     "CampaignError",
@@ -44,6 +66,13 @@ __all__ = [
     "load_campaign",
     "run_campaign",
 ]
+
+
+def _span(tracer: Any, name: str, **args: Any):
+    """A campaign-category span, or a no-op when tracing is disabled."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, cat="campaign", **args)
 
 SPEC_NAME = "spec.json"
 MANIFEST_NAME = "manifest.json"
@@ -174,24 +203,32 @@ def execute_units(
     CI smoke job); the second element of the return value reports
     whether the run stopped early.  Outcomes are returned in unit
     order regardless of completion order.
+
+    Adaptive stages run their units concurrently (threads feeding the
+    engine's shared worker pool) when ``engine.jobs > 1`` — except under
+    ``stop_after``, whose exactly-N contract requires sequential
+    execution.  ``on_unit`` is serialized under a lock either way.
     """
     eng = resolve_engine(engine)
+    tracer = resolve_tracer(None)
     completed = completed or {}
     outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
     executed = 0
     interrupted = False
+    record_lock = Lock()
 
     def record(outcome: UnitOutcome) -> bool:
         """Account one new execution; False means stop now."""
         nonlocal executed, interrupted
-        outcomes[outcome.index] = outcome
-        executed += 1
-        if on_unit is not None:
-            on_unit(outcome)
-        if stop_after is not None and executed >= stop_after:
-            interrupted = True
-            return False
-        return True
+        with record_lock:
+            outcomes[outcome.index] = outcome
+            executed += 1
+            if on_unit is not None:
+                on_unit(outcome)
+            if stop_after is not None and executed >= stop_after:
+                interrupted = True
+                return False
+            return True
 
     todo: List[Unit] = []
     for position, unit in enumerate(units):
@@ -212,39 +249,67 @@ def execute_units(
         else:
             todo.append(unit)
 
+    def adaptive_outcome(unit: Unit) -> UnitOutcome:
+        with _span(tracer, "unit", unit=unit.unit_id()):
+            rows, wall = _run_adaptive(unit, eng)
+        return UnitOutcome(
+            unit_id=unit.unit_id(),
+            index=unit.index,
+            stage=unit.stage,
+            rows=rows,
+            wall_s=wall,
+            from_journal=False,
+        )
+
     for stage in spec.stages:
         if interrupted:
             break
         stage_units = [u for u in todo if u.stage == stage.name]
         if not stage_units:
             continue
-        if stage.kind == "sweep":
-            points = [u.to_point() for u in stage_units]
-            for position, result, wall in eng.iter_points(points):
-                unit = stage_units[position]
-                outcome = UnitOutcome(
-                    unit_id=unit.unit_id(),
-                    index=unit.index,
-                    stage=unit.stage,
-                    rows=_sweep_rows(spec, unit, result),
-                    wall_s=wall,
-                    from_journal=False,
-                )
-                if not record(outcome):
-                    break
-        else:
-            for unit in stage_units:
-                rows, wall = _run_adaptive(unit, eng)
-                outcome = UnitOutcome(
-                    unit_id=unit.unit_id(),
-                    index=unit.index,
-                    stage=unit.stage,
-                    rows=rows,
-                    wall_s=wall,
-                    from_journal=False,
-                )
-                if not record(outcome):
-                    break
+        span = _span(
+            tracer,
+            "stage",
+            stage=stage.name,
+            kind=stage.kind,
+            units=len(stage_units),
+        )
+        with span:
+            if stage.kind == "sweep":
+                points = [u.to_point() for u in stage_units]
+                for position, result, wall in eng.iter_points(points):
+                    unit = stage_units[position]
+                    outcome = UnitOutcome(
+                        unit_id=unit.unit_id(),
+                        index=unit.index,
+                        stage=unit.stage,
+                        rows=_sweep_rows(spec, unit, result),
+                        wall_s=wall,
+                        from_journal=False,
+                    )
+                    if not record(outcome):
+                        break
+                continue
+            # Adaptive units: independent searches.  Fan out on threads
+            # (each bisection's points go to the engine's shared pool)
+            # unless stop_after demands deterministic sequencing.
+            threads = (
+                1
+                if stop_after is not None
+                else min(eng.jobs, len(stage_units))
+            )
+            if threads <= 1:
+                for unit in stage_units:
+                    if not record(adaptive_outcome(unit)):
+                        break
+            else:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    futures = [
+                        pool.submit(adaptive_outcome, unit)
+                        for unit in stage_units
+                    ]
+                    for future in as_completed(futures):
+                        record(future.result())
 
     if interrupted:
         return [o for o in outcomes if o is not None], True
@@ -312,6 +377,8 @@ def run_campaign(
     resume: bool = False,
     stop_after: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
+    progress: Optional[ProgressTracker] = None,
+    on_progress: Optional[Callable[[ProgressTracker], None]] = None,
 ) -> CampaignSummary:
     """Run (or resume) a campaign into ``out_dir``.
 
@@ -322,6 +389,14 @@ def run_campaign(
     the derived-metric CSV and the campaign manifest are written; an
     interrupted run (``stop_after``) leaves only the journal, ready to
     resume.
+
+    Progress: a :class:`ProgressTracker` (the given one, or an internal
+    one) counts units done/total per stage, and after every journaled
+    unit the machine-readable ``progress.json`` sidecar is rewritten
+    atomically next to the journal; ``on_progress`` fires at the same
+    cadence with the tracker (the CLI's live ``--progress`` hook).  The
+    engine's worker heartbeats are wired into the tracker for the run
+    when the engine has no heartbeat sink of its own.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -349,16 +424,50 @@ def run_campaign(
             "match the spec expansion; refusing to mix studies"
         )
 
+    eng = resolve_engine(engine)
+    tracer = resolve_tracer(None)
+    tracker = progress or ProgressTracker(
+        total=len(units), label=spec.name
+    )
+    sidecar = out / PROGRESS_NAME
+
+    # Per-stage done/total, seeded with the replayed journal records.
+    stage_total: Dict[str, int] = {}
+    stage_done: Dict[str, int] = {}
+    for unit in units:
+        stage_total[unit.stage] = stage_total.get(unit.stage, 0) + 1
+    for unit_id in completed:
+        stage = completed[unit_id].stage
+        stage_done[stage] = stage_done.get(stage, 0) + 1
+    done_units = len(completed)
+    for stage, total in stage_total.items():
+        tracker.stage_progress(stage, stage_done.get(stage, 0), total)
+    tracker.update(done_units, len(units), eng.hits)
+    tracker.write_sidecar(str(sidecar))
+
     def journal_unit(outcome: UnitOutcome) -> None:
-        journal.append(
-            JournalRecord(
-                unit_id=outcome.unit_id,
-                index=outcome.index,
-                stage=outcome.stage,
-                rows=outcome.rows,
-                wall_s=outcome.wall_s,
+        nonlocal done_units
+        with _span(tracer, "journal", unit=outcome.unit_id):
+            journal.append(
+                JournalRecord(
+                    unit_id=outcome.unit_id,
+                    index=outcome.index,
+                    stage=outcome.stage,
+                    rows=outcome.rows,
+                    wall_s=outcome.wall_s,
+                )
             )
+        done_units += 1
+        stage_done[outcome.stage] = stage_done.get(outcome.stage, 0) + 1
+        tracker.stage_progress(
+            outcome.stage,
+            stage_done[outcome.stage],
+            stage_total.get(outcome.stage, 0),
         )
+        tracker.update(done_units, len(units), eng.hits)
+        tracker.write_sidecar(str(sidecar))
+        if on_progress is not None:
+            on_progress(tracker)
         if log is not None:
             log(
                 f"  unit {outcome.index + 1}/{len(units)} done "
@@ -366,16 +475,41 @@ def run_campaign(
                 f"{len(outcome.rows)} row(s))"
             )
 
+    # Worker heartbeats and point-level progress feed the tracker unless
+    # the caller wired the engine's callbacks elsewhere already.
+    restore_heartbeat = False
+    if eng.heartbeat is None:
+        eng.heartbeat = tracker.heartbeat
+        restore_heartbeat = True
+    restore_progress = False
+    if eng.progress is None:
+        eng.progress = tracker.update_points
+        restore_progress = True
+
     start = perf_counter()
-    outcomes, interrupted = execute_units(
-        spec,
-        units,
-        engine=engine,
-        completed=completed,
-        on_unit=journal_unit,
-        stop_after=stop_after,
-    )
+    try:
+        with _span(
+            tracer,
+            "campaign",
+            campaign=spec.name,
+            fingerprint=fingerprint[:12],
+            units=len(units),
+        ):
+            outcomes, interrupted = execute_units(
+                spec,
+                units,
+                engine=eng,
+                completed=completed,
+                on_unit=journal_unit,
+                stop_after=stop_after,
+            )
+    finally:
+        if restore_heartbeat:
+            eng.heartbeat = None
+        if restore_progress:
+            eng.progress = None
     wall = perf_counter() - start
+    tracker.write_sidecar(str(sidecar))
 
     from_journal = sum(1 for o in outcomes if o.from_journal)
     executed = sum(1 for o in outcomes if not o.from_journal)
@@ -397,7 +531,6 @@ def run_campaign(
 
     from repro.obs.manifest import CampaignManifest
 
-    eng = resolve_engine(engine)
     CampaignManifest.build(
         spec_name=spec.name,
         fingerprint=fingerprint,

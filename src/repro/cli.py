@@ -11,6 +11,8 @@ Subcommands:
 * ``report``   — summarize a JSONL trace written with ``--trace-out``.
 * ``campaign`` — run/resume/inspect declarative scenario campaigns
   (``run``, ``resume``, ``status``, ``validate``; see docs/CAMPAIGNS.md).
+* ``top``      — follow a campaign directory's live progress/ETA.
+* ``trace``    — inspect exported span traces (``report``).
 * ``cc``       — inspect the canonical congestion-control table
   (``list``: every algorithm, its substrates, and law parameters).
 * ``cache``    — inspect (``info``) or prune (``clear``) the result cache.
@@ -27,7 +29,12 @@ cache (default location ``~/.cache/repro-bbr`` when DIR is omitted, or
 
 ``simulate``, ``figure``, and ``campaign run``/``resume`` accept
 ``--check`` (equivalently ``REPRO_CHECK=1``) to enable the runtime
-invariant sanitizer; see docs/CHECKS.md.
+invariant sanitizer; see docs/CHECKS.md.  They also accept ``--progress``
+(live done/total, cache-hit rate, points/s, EWMA-smoothed ETA on
+stderr), ``--profile-points [N]`` (cProfile the N slowest points), and a
+span export — ``--spans-out PATH`` on ``simulate``/``figure``,
+``--trace-out PATH`` on campaigns — producing Chrome trace-event JSON
+for Perfetto / ``chrome://tracing`` and ``repro-bbr trace report``.
 """
 
 from __future__ import annotations
@@ -95,6 +102,89 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_progress_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live done/total, cache-hit rate, points/s and "
+        "ETA line on stderr (see docs/OBSERVABILITY.md)",
+    )
+
+
+def _add_profile_points_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile-points",
+        type=_positive_int,
+        nargs="?",
+        const=5,
+        default=None,
+        metavar="N",
+        help="cProfile every executed point and keep hotspots for the "
+        "N slowest (default 5); hotspots ride along in the span "
+        "export for 'repro-bbr trace report'",
+    )
+
+
+def _add_span_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spans-out",
+        default=None,
+        metavar="PATH",
+        help="write hierarchical wall-clock spans as Chrome "
+        "trace-event JSON to PATH (loadable in Perfetto or "
+        "chrome://tracing; a .gz suffix compresses)",
+    )
+    _add_profile_points_arg(parser)
+    _add_progress_arg(parser)
+
+
+def _add_campaign_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write campaign/stage/unit/point wall-clock spans as "
+        "Chrome trace-event JSON to PATH (Perfetto-loadable; a .gz "
+        "suffix compresses)",
+    )
+    _add_profile_points_arg(parser)
+    _add_progress_arg(parser)
+
+
+def _activate_tracing(span_path):
+    """Install a process-wide span tracer when an export was requested.
+
+    ``REPRO_TRACE`` is exported too so ``--jobs`` worker processes
+    record spans locally and ship them back (mirrors ``--check``).
+    """
+    if not span_path:
+        return None
+    from repro.obs import trace
+
+    os.environ["REPRO_TRACE"] = "1"
+    tracer = trace.Tracer()
+    trace.set_default(tracer)
+    return tracer
+
+
+def _activate_profile_points(args: argparse.Namespace) -> int:
+    """Export ``REPRO_PROFILE_POINTS`` for --profile-points workers."""
+    n = getattr(args, "profile_points", None) or 0
+    if n:
+        os.environ["REPRO_PROFILE_POINTS"] = str(n)
+    return n
+
+
+def _write_spans(path: str, tracer, engine) -> int:
+    """Export collected spans (plus any profiled hotspots) to ``path``."""
+    from repro.obs import write_chrome_trace
+
+    hotspots = engine.hotspots() if engine is not None else []
+    events = write_chrome_trace(path, tracer.spans, hotspots=hotspots)
+    print(f"(wrote {events} span events to {path})")
+    return events
+
+
 def _add_check_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--check",
@@ -150,13 +240,14 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _engine_from(args: argparse.Namespace, progress=None):
+def _engine_from(args: argparse.Namespace, progress=None, heartbeat=None):
     """Build the scenario-execution engine from --jobs/--cache-dir flags.
 
     The cache is enabled by ``--cache-dir`` (bare flag = default root)
     or the ``REPRO_CACHE_DIR`` environment variable, and force-disabled
     by ``--no-cache``; by default nothing is persisted, matching the
-    historical behavior.
+    historical behavior.  ``--profile-points N`` (when the subcommand
+    has it) keeps cProfile hotspots for the N slowest executed points.
     """
     from repro.exec import Engine, ResultCache
 
@@ -166,7 +257,13 @@ def _engine_from(args: argparse.Namespace, progress=None):
             cache = ResultCache(args.cache_dir or None)
         elif os.environ.get("REPRO_CACHE_DIR"):
             cache = ResultCache(None)
-    return Engine(jobs=args.jobs, cache=cache, progress=progress)
+    return Engine(
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+        heartbeat=heartbeat,
+        profile_slowest=getattr(args, "profile_points", None) or 0,
+    )
 
 
 def _print_exec_summary(engine) -> None:
@@ -255,10 +352,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"bad mix entry {item!r}; use name:count", file=sys.stderr)
             return 2
     obs = _obs_from(args)
-    engine = _engine_from(args)
+    tracer = _activate_tracing(args.spans_out)
+    _activate_profile_points(args)
+    tracker = None
+    progress_cb = None
+    if args.progress:
+        from repro.obs import ProgressTracker
+
+        tracker = ProgressTracker(label="simulate")
+
+        def progress_cb(done: int, submitted: int, hits: int) -> None:
+            tracker.update(done, submitted, hits)
+            print(
+                "\r" + tracker.render(),
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    engine = _engine_from(
+        args,
+        progress=progress_cb,
+        heartbeat=tracker.heartbeat if tracker is not None else None,
+    )
+    # Tracing/profiling/progress need the engine path even when cache
+    # and parallelism are off; plain runs keep the historical fast path.
+    engine_route = (
+        engine.cache is not None
+        or engine.jobs > 1
+        or tracer is not None
+        or engine.profile_slowest > 0
+        or tracker is not None
+    )
     wall_start = perf_counter()
     try:
-        if engine.cache is None and engine.jobs == 1:
+        if not engine_route:
             result = run_mix(
                 link,
                 mix,
@@ -286,6 +414,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"bad scenario: {exc}", file=sys.stderr)
         return 2
     wall_time = perf_counter() - wall_start
+    if tracker is not None:
+        print(file=sys.stderr)  # End the \r progress line.
     print(f"link: {link.describe()}  backend={args.backend}")
     for cc, count in mix:
         if count == 0:
@@ -313,6 +443,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             _write_simulate_trace(args, link, mix, result, obs, wall_time)
         except OSError as exc:
             print(f"cannot write trace: {exc}", file=sys.stderr)
+            return 2
+    if args.spans_out and tracer is not None:
+        try:
+            _write_spans(args.spans_out, tracer, engine)
+        except OSError as exc:
+            print(f"cannot write spans: {exc}", file=sys.stderr)
             return 2
     if obs is not None and args.profile:
         _print_profile(obs)
@@ -374,16 +510,38 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         )
         return 2
     obs = _obs_from(args)
+    tracer = _activate_tracing(args.spans_out)
+    _activate_profile_points(args)
+    tracker = None
+    if args.progress:
+        from repro.obs import ProgressTracker
 
-    def progress(done: int, submitted: int, hits: int) -> None:
-        print(
-            f"\r  points {done}/{submitted} ({hits} cached)",
-            end="",
-            file=sys.stderr,
-            flush=True,
-        )
+        tracker = ProgressTracker(label=key)
 
-    engine = _engine_from(args, progress=progress)
+        def progress(done: int, submitted: int, hits: int) -> None:
+            tracker.update(done, submitted, hits)
+            print(
+                "\r  " + tracker.render(),
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    else:
+
+        def progress(done: int, submitted: int, hits: int) -> None:
+            print(
+                f"\r  points {done}/{submitted} ({hits} cached)",
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    engine = _engine_from(
+        args,
+        progress=progress,
+        heartbeat=tracker.heartbeat if tracker is not None else None,
+    )
     from repro.exec import use as use_engine
     from repro.obs import use as use_obs
 
@@ -413,6 +571,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"cannot write trace: {exc}", file=sys.stderr)
             return 2
         print(f"(wrote {records} trace records to {args.trace_out})")
+    if args.spans_out and tracer is not None:
+        try:
+            _write_spans(args.spans_out, tracer, engine)
+        except OSError as exc:
+            print(f"cannot write spans: {exc}", file=sys.stderr)
+            return 2
     if obs is not None and args.profile:
         _print_profile(obs)
     return 0
@@ -533,19 +697,44 @@ def _run_campaign_cmd(args: argparse.Namespace, resume: bool) -> int:
     else:
         spec = load_spec(args.spec)
         out_dir = args.out
+    tracer = _activate_tracing(args.trace_out)
+    _activate_profile_points(args)
     engine = _engine_from(args)
     print(
         f"campaign '{spec.name}'"
         + (f": {spec.description}" if spec.description else "")
     )
+    on_progress = None
+    log = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    if args.progress:
+        # The live \r line replaces the per-unit log lines.
+        log = None
+
+        def on_progress(tracker) -> None:
+            print(
+                "\r" + tracker.render(),
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
     summary = run_campaign(
         spec,
         out_dir,
         engine=engine,
         resume=resume,
         stop_after=args.stop_after,
-        log=lambda line: print(line, file=sys.stderr),
+        log=log,
+        on_progress=on_progress,
     )
+    if args.progress:
+        print(file=sys.stderr)  # End the \r progress line.
+    if args.trace_out and tracer is not None:
+        try:
+            _write_spans(args.trace_out, tracer, engine)
+        except OSError as exc:
+            print(f"cannot write spans: {exc}", file=sys.stderr)
+            return 2
     if summary.interrupted:
         print(
             f"campaign '{summary.name}' stopped after "
@@ -574,6 +763,14 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.campaign import Journal, expand_units, load_campaign
+
+    if args.json:
+        import json
+
+        from repro.campaign import campaign_progress
+
+        print(json.dumps(campaign_progress(args.dir), indent=2))
+        return 0
 
     spec = load_campaign(args.dir)
     units = expand_units(spec)
@@ -624,6 +821,40 @@ def _cmd_campaign_validate(args: argparse.Namespace) -> int:
         )
     )
     print(f"  units: {len(units)}")
+    return 0
+
+
+@_campaign_errors
+def _cmd_top(args: argparse.Namespace) -> int:
+    from time import sleep
+
+    from repro.campaign import campaign_progress, render_status
+
+    try:
+        while True:
+            status = campaign_progress(args.dir)
+            print(render_status(status))
+            if args.once or status["state"] == "complete":
+                return 0
+            sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import read_chrome_trace, render_span_report
+
+    try:
+        parsed = read_chrome_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_span_report(parsed.spans, parsed.hotspots))
     return 0
 
 
@@ -704,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     _add_obs_args(p)
+    _add_span_args(p)
     _add_exec_args(p)
     _add_check_args(p)
     p.set_defaults(func=_cmd_simulate)
@@ -720,6 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default=None, help="also write CSVs to this directory"
     )
     _add_obs_args(p)
+    _add_span_args(p)
     _add_exec_args(p)
     _add_check_args(p)
     p.set_defaults(func=_cmd_figure)
@@ -790,6 +1023,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop cleanly after N newly executed units (simulates an "
         "interrupted campaign; exit code 3)",
     )
+    _add_campaign_obs_args(cp)
     _add_exec_args(cp)
     _add_check_args(cp)
     cp.set_defaults(func=_cmd_campaign_run)
@@ -805,6 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop cleanly after N newly executed units (exit code 3)",
     )
+    _add_campaign_obs_args(cp)
     _add_exec_args(cp)
     _add_check_args(cp)
     cp.set_defaults(func=_cmd_campaign_resume)
@@ -813,6 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show a campaign directory's progress"
     )
     cp.add_argument("dir", help="campaign output directory")
+    cp.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable progress (elapsed, per-stage "
+        "done/total, rate, ETA) as JSON",
+    )
     cp.set_defaults(func=_cmd_campaign_status)
 
     cp = campaign_sub.add_parser(
@@ -820,6 +1061,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("spec", help="path to a .toml/.json campaign spec")
     cp.set_defaults(func=_cmd_campaign_validate)
+
+    p = sub.add_parser(
+        "top",
+        help="follow a campaign directory's live progress/ETA",
+    )
+    p.add_argument("dir", help="campaign output directory")
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit instead of following",
+    )
+    p.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period in follow mode (default 2s)",
+    )
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect exported span traces (see docs/OBSERVABILITY.md)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    tp = trace_sub.add_parser(
+        "report",
+        help="per-span self/total wall-time table from a Chrome "
+        "trace-event JSON file (--spans-out / campaign --trace-out)",
+    )
+    tp.add_argument("trace", help="path to the span trace (.json[.gz])")
+    tp.set_defaults(func=_cmd_trace_report)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the scenario result cache"
@@ -871,6 +1144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly instead
+        # of tracebacking (redirect stdout so shutdown flush is safe).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -4,10 +4,29 @@
 into results.  Sweeps declare their point lists (:class:`ScenarioPoint`)
 and submit them through :meth:`Engine.run_points`; the engine answers
 each point from the result cache when it can and fans the rest out over
-a ``ProcessPoolExecutor`` when ``jobs > 1``.  Cache lookups always
-happen in the parent process, so hits never pay worker startup; workers
-run with telemetry disabled and return picklable
+a persistent ``ProcessPoolExecutor`` when ``jobs > 1``.  Cache lookups
+always happen in the parent process, so hits never pay worker startup;
+workers run with telemetry disabled and return picklable
 :class:`~repro.experiments.runner.ScenarioResult` objects.
+
+The worker pool is created lazily on the first parallel batch and kept
+alive for the engine's lifetime (``close()`` shuts it down), so a long
+campaign of small batches — e.g. the one-point-at-a-time evaluations of
+an NE bisection — pays pool startup once, not per batch, and single
+pending points still fan out when ``jobs > 1``.  Accounting and
+submission are lock-guarded, so multiple threads (the campaign layer's
+concurrent adaptive units) may drive one engine and share its workers.
+
+Observability: ``exec.*`` telemetry counters as before, plus wall-clock
+spans (:mod:`repro.obs.trace`) around cache lookups, point execution,
+and cache stores.  Workers inherit tracing through ``REPRO_TRACE``
+(and per-point profiling through ``REPRO_PROFILE_POINTS``), record into
+a process-local tracer, and ship finished spans — plus a pid/RSS
+heartbeat — back with each result; the parent merges the spans so the
+exported trace shows one lane per worker pid.  ``done``/``hits``
+advance exactly once per submitted point, *when the point resolves*
+(cache hits during the scan, executed points as results land, inline
+``BrokenProcessPool`` retries when the retry finishes).
 
 Defaults preserve the historical behavior exactly: ``jobs=1`` executes
 inline (telemetry threading included) and ``cache=None`` disables
@@ -24,9 +43,11 @@ sequential, cache-less engine.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
+from threading import Lock
 from time import perf_counter
 from typing import (
     TYPE_CHECKING,
@@ -51,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Engine",
+    "HeartbeatFn",
     "ProgressFn",
     "get_default",
     "set_default",
@@ -62,21 +84,112 @@ __all__ = [
 #: all cumulative over the engine's lifetime.
 ProgressFn = Callable[[int, int, int], None]
 
+#: Worker-health callback: ``(pid, rss_kb)`` after each resolved point.
+HeartbeatFn = Callable[[int, int], None]
 
-def _execute_point(point: ScenarioPoint) -> Tuple["ScenarioResult", float]:
+#: Env var: profile each executed point and keep the N slowest.
+PROFILE_ENV = "REPRO_PROFILE_POINTS"
+
+#: Hotspot rows kept per profiled point / reported per engine.
+PROFILE_ROWS = 15
+HOTSPOT_ROWS = 20
+
+
+def _span(tracer: Any, name: str, **args: Any):
+    """A tracer span, or a no-op context when tracing is disabled."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, cat="exec", **args)
+
+
+def profile_points_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> int:
+    """How many slowest points ``REPRO_PROFILE_POINTS`` asks to keep."""
+    env = os.environ if environ is None else environ
+    value = (env.get(PROFILE_ENV) or "").strip()
+    try:
+        return max(0, int(value)) if value else 0
+    except ValueError:
+        return 0
+
+
+def _profile_rows(prof: Any, limit: int = PROFILE_ROWS) -> List[Dict]:
+    """Reduce a cProfile run to its top rows by cumulative time."""
+    rows: List[Dict] = []
+    for entry in prof.getstats():
+        code = entry.code
+        if isinstance(code, str):
+            name = code
+        else:
+            name = (
+                f"{os.path.basename(code.co_filename)}:"
+                f"{code.co_firstlineno}({code.co_name})"
+            )
+        rows.append(
+            {
+                "func": name,
+                "calls": entry.callcount,
+                "tot_s": entry.inlinetime,
+                "cum_s": entry.totaltime,
+            }
+        )
+    rows.sort(key=lambda row: -row["cum_s"])
+    return rows[:limit]
+
+
+def _run_profiled(
+    fn: Callable[[], "ScenarioResult"],
+) -> Tuple["ScenarioResult", List[Dict]]:
+    import cProfile
+
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    return result, _profile_rows(prof)
+
+
+def _execute_point(
+    point: ScenarioPoint,
+) -> Tuple["ScenarioResult", float, Dict]:
     """Worker entry: run one scenario point, telemetry disabled.
 
-    Returns ``(result, wall_seconds)``; the wall time is measured inside
-    the worker so queueing delay is not attributed to the simulation.
+    Returns ``(result, wall_seconds, extras)``; the wall time is
+    measured inside the worker so queueing delay is not attributed to
+    the simulation.  ``extras`` carries the worker's pid, max RSS, its
+    drained trace spans (when ``REPRO_TRACE`` is inherited), and the
+    point's profile hotspots (when ``REPRO_PROFILE_POINTS`` is set).
     """
-    from repro.obs import bus
+    from repro.obs import bus, trace
+    from repro.obs.progress import rss_self_kb
 
     # Fork-start workers inherit the parent's default telemetry bus;
     # recording into that copy would be silently discarded, so run dark.
+    # Tracing is different: spans recorded here are shipped back with
+    # the result, so a fresh local tracer is installed when the parent
+    # exported REPRO_TRACE.
     bus.set_default(None)
+    tracer = trace.Tracer() if trace.enabled_from_env() else None
+    trace.set_default(tracer)
+
+    profile = profile_points_from_env() > 0
+    rows: List[Dict] = []
     start = perf_counter()
-    result = _run_point(point, obs=None)
-    return result, perf_counter() - start
+    with _span(tracer, "point", fingerprint=point.fingerprint()[:12]):
+        with _span(tracer, "simulate", backend=point.backend):
+            if profile:
+                result, rows = _run_profiled(
+                    lambda: _run_point(point, obs=None)
+                )
+            else:
+                result = _run_point(point, obs=None)
+    elapsed = perf_counter() - start
+    extras = {
+        "pid": os.getpid(),
+        "rss_kb": rss_self_kb(),
+        "spans": tracer.drain() if tracer is not None else [],
+        "profile": rows,
+    }
+    return result, elapsed, extras
 
 
 def _run_point(point: ScenarioPoint, obs: Any) -> "ScenarioResult":
@@ -106,14 +219,23 @@ class Engine:
     """Executes scenario points with caching and optional parallelism.
 
     Args:
-        jobs: Maximum worker processes for a batch; 1 (the default)
-            executes inline in the calling process.
+        jobs: Maximum worker processes; 1 (the default) executes inline
+            in the calling process.
         cache: A :class:`ResultCache`, or None to disable persistence.
         obs: Telemetry bus for the ``exec.*`` counters/timers; None
             resolves the process default at each call, so an engine
             created before ``obs.use(...)`` still records.
         progress: Optional callback invoked after every resolved point
             with ``(done, submitted, cache_hits)`` cumulative counts.
+        tracer: A :class:`repro.obs.trace.Tracer` for wall-clock spans;
+            None resolves the process default (which honors
+            ``REPRO_TRACE``) at each call.
+        heartbeat: Optional callback ``(pid, rss_kb)`` after every
+            executed point — the worker-health feed for
+            :class:`repro.obs.progress.ProgressTracker`.
+        profile_slowest: Keep cProfile hotspots for this many slowest
+            executed points (0 disables).  The CLI also exports
+            ``REPRO_PROFILE_POINTS`` so pool workers profile too.
     """
 
     def __init__(
@@ -122,13 +244,25 @@ class Engine:
         cache: Optional[ResultCache] = None,
         obs: Any = None,
         progress: Optional[ProgressFn] = None,
+        tracer: Any = None,
+        heartbeat: Optional[HeartbeatFn] = None,
+        profile_slowest: int = 0,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if profile_slowest < 0:
+            raise ValueError(
+                f"profile_slowest must be >= 0, got {profile_slowest}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.heartbeat = heartbeat
+        self.profile_slowest = profile_slowest
         self._obs = obs
+        self._tracer = tracer
+        self._lock = Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
         self.submitted = 0
         self.done = 0
         self.hits = 0
@@ -136,6 +270,42 @@ class Engine:
         self.simulated = 0
         self.cache_errors = 0
         self.worker_failures = 0
+        #: ``[{"wall_s", "fingerprint", "rows"}]`` for the slowest
+        #: profiled points, descending by wall time.
+        self.profiled: List[Dict] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._executor
+
+    def _discard_pool(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     # -- telemetry ---------------------------------------------------------
 
@@ -143,6 +313,11 @@ class Engine:
         from repro.obs.bus import resolve as resolve_obs
 
         return resolve_obs(self._obs)
+
+    def _resolve_tracer(self) -> Any:
+        from repro.obs.trace import resolve as resolve_tracer
+
+        return resolve_tracer(self._tracer)
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -169,19 +344,33 @@ class Engine:
         existed = path.exists()
         payload = self.cache.get(fingerprint)
         if payload is None and existed:
-            self.cache_errors += 1
+            with self._lock:
+                self.cache_errors += 1
             if obs is not None:
                 obs.count("exec.cache.errors")
         return payload
 
-    def _account(self, hit: bool, obs: Any) -> None:
-        if hit:
+    def _account_hit(self, obs: Any) -> None:
+        """A point answered from cache: done and hits advance together."""
+        with self._lock:
             self.hits += 1
-        else:
-            self.misses += 1
-        self.done += 1
+            self.done += 1
         if obs is not None:
-            obs.count("exec.cache.hits" if hit else "exec.cache.misses")
+            obs.count("exec.cache.hits")
+        self._notify()
+
+    def _account_miss(self, obs: Any) -> None:
+        """A point that must execute; ``done`` advances on completion."""
+        with self._lock:
+            self.misses += 1
+        if obs is not None:
+            obs.count("exec.cache.misses")
+
+    def _complete_index(self) -> None:
+        """One submitted index resolved by execution (once, ever)."""
+        with self._lock:
+            self.done += 1
+        self._notify()
 
     def _record_executed(
         self,
@@ -189,15 +378,62 @@ class Engine:
         result: "ScenarioResult",
         elapsed: float,
         obs: Any,
+        tracer: Any,
     ) -> None:
-        self.simulated += 1
+        with self._lock:
+            self.simulated += 1
         if obs is not None:
             obs.count("exec.points.simulated")
             obs.record_time("exec.point.wall", elapsed)
         if self.cache is not None:
-            self.cache.put(fingerprint, result.to_dict())
+            with _span(tracer, "cache_store"):
+                self.cache.put(fingerprint, result.to_dict())
             if obs is not None:
                 obs.count("exec.cache.stores")
+
+    def _keep_profile(
+        self, fingerprint: str, elapsed: float, rows: List[Dict]
+    ) -> None:
+        """Retain the ``profile_slowest`` slowest points' hotspots."""
+        if not rows or self.profile_slowest <= 0:
+            return
+        with self._lock:
+            self.profiled.append(
+                {
+                    "wall_s": elapsed,
+                    "fingerprint": fingerprint,
+                    "rows": rows,
+                }
+            )
+            self.profiled.sort(key=lambda entry: -entry["wall_s"])
+            del self.profiled[self.profile_slowest:]
+
+    def hotspots(self, limit: int = HOTSPOT_ROWS) -> List[Dict]:
+        """Aggregate hotspot rows across the kept slowest points."""
+        merged: Dict[str, Dict] = {}
+        with self._lock:
+            kept = [entry["rows"] for entry in self.profiled]
+        for rows in kept:
+            for row in rows:
+                agg = merged.get(row["func"])
+                if agg is None:
+                    merged[row["func"]] = dict(row)
+                else:
+                    agg["calls"] += row["calls"]
+                    agg["tot_s"] += row["tot_s"]
+                    agg["cum_s"] += row["cum_s"]
+        ranked = sorted(merged.values(), key=lambda row: -row["cum_s"])
+        return ranked[:limit]
+
+    def _absorb_extras(
+        self, extras: Dict, elapsed: float, fingerprint: str, tracer: Any
+    ) -> None:
+        """Merge one worker result's spans/heartbeat/profile parent-side."""
+        if tracer is not None and extras.get("spans"):
+            tracer.merge(extras["spans"])
+        if self.heartbeat is not None:
+            self.heartbeat(extras.get("pid", 0), extras.get("rss_kb", 0))
+        self._keep_profile(fingerprint, elapsed, extras.get("profile", []))
 
     # -- execution ---------------------------------------------------------
 
@@ -220,7 +456,9 @@ class Engine:
         """
         points = list(points)
         obs = self._resolve_obs()
-        self.submitted += len(points)
+        tracer = self._resolve_tracer()
+        with self._lock:
+            self.submitted += len(points)
         if obs is not None:
             obs.count("exec.points.submitted", len(points))
 
@@ -234,38 +472,69 @@ class Engine:
             fingerprint = point.fingerprint()
             if fingerprint in pending:
                 pending[fingerprint].append(i)
-                self._account(hit=False, obs=obs)
+                self._account_miss(obs)
                 continue
-            payload = self._cache_lookup(fingerprint, obs)
+            with _span(tracer, "cache_lookup"):
+                payload = self._cache_lookup(fingerprint, obs)
             if payload is not None:
                 result = ScenarioResult.from_dict(payload)
-                self._account(hit=True, obs=obs)
-                self._notify()
+                self._account_hit(obs)
                 yield i, result, 0.0
             else:
                 pending[fingerprint] = [i]
                 pending_points[fingerprint] = point
-                self._account(hit=False, obs=obs)
+                self._account_miss(obs)
 
         def finish(
             fingerprint: str, result: "ScenarioResult", elapsed: float
         ) -> None:
-            self._record_executed(fingerprint, result, elapsed, obs)
-            self._notify()
+            self._record_executed(fingerprint, result, elapsed, obs, tracer)
 
-        if self.jobs > 1 and len(pending_points) > 1:
+        if self.jobs > 1 and pending_points:
             yield from self._iter_parallel(
-                pending, pending_points, finish, obs
+                pending, pending_points, finish, obs, tracer
             )
         else:
-            for fingerprint, point in pending_points.items():
-                start = perf_counter()
+            yield from self._iter_inline(
+                pending, pending_points, finish, obs, tracer
+            )
+
+    def _run_inline(
+        self, point: ScenarioPoint, obs: Any, tracer: Any
+    ) -> Tuple["ScenarioResult", float]:
+        """Execute one point in this process, spans/profile included."""
+        start = perf_counter()
+        with _span(tracer, "point", fingerprint=point.fingerprint()[:12]):
+            with _span(tracer, "simulate", backend=point.backend):
                 # Inline execution keeps the caller's telemetry wiring.
-                result = _run_point(point, obs=obs)
-                elapsed = perf_counter() - start
-                finish(fingerprint, result, elapsed)
-                for idx in pending[fingerprint]:
-                    yield idx, result, elapsed
+                if self.profile_slowest > 0:
+                    result, rows = _run_profiled(
+                        lambda: _run_point(point, obs=obs)
+                    )
+                else:
+                    result, rows = _run_point(point, obs=obs), []
+        elapsed = perf_counter() - start
+        self._keep_profile(point.fingerprint(), elapsed, rows)
+        if self.heartbeat is not None:
+            from repro.obs.progress import rss_self_kb
+
+            self.heartbeat(os.getpid(), rss_self_kb())
+        return result, elapsed
+
+    def _iter_inline(
+        self,
+        pending: Dict[str, List[int]],
+        pending_points: Dict[str, ScenarioPoint],
+        finish: Callable[[str, "ScenarioResult", float], None],
+        obs: Any,
+        tracer: Any,
+    ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
+        for fingerprint, point in pending_points.items():
+            result, elapsed = self._run_inline(point, obs, tracer)
+            finish(fingerprint, result, elapsed)
+            for idx in pending[fingerprint]:
+                self._complete_index()
+                yield idx, result, elapsed
 
     def _iter_parallel(
         self,
@@ -273,46 +542,51 @@ class Engine:
         pending_points: Dict[str, ScenarioPoint],
         finish: Callable[[str, "ScenarioResult", float], None],
         obs: Any,
+        tracer: Any,
     ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
         """Fan distinct points out over workers, yielding completions.
 
         A dead worker poisons the whole pool (``BrokenProcessPool``) and
         would historically abort the batch, discarding every
-        completed-but-unprocessed result.  Instead the lost points are
-        retried inline exactly once and ``exec.worker_failures`` is
-        counted; a second failure (now in-process) propagates.
+        completed-but-unprocessed result.  Instead the pool is discarded
+        (the next batch builds a fresh one), the lost points are retried
+        inline exactly once — advancing ``done`` only when the retry
+        lands, never twice — and ``exec.worker_failures`` is counted; a
+        second failure (now in-process) propagates.
         """
-        workers = min(self.jobs, len(pending_points))
         remaining = dict(pending_points)
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_point, point): fingerprint
-                    for fingerprint, point in pending_points.items()
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    ready, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in ready:
-                        result, elapsed = future.result()
-                        fingerprint = futures[future]
-                        finish(fingerprint, result, elapsed)
-                        del remaining[fingerprint]
-                        for idx in pending[fingerprint]:
-                            yield idx, result, elapsed
+            pool = self._pool()
+            futures = {
+                pool.submit(_execute_point, point): fingerprint
+                for fingerprint, point in pending_points.items()
+            }
+            outstanding = set(futures)
+            while outstanding:
+                ready, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in ready:
+                    result, elapsed, extras = future.result()
+                    fingerprint = futures[future]
+                    self._absorb_extras(extras, elapsed, fingerprint, tracer)
+                    finish(fingerprint, result, elapsed)
+                    del remaining[fingerprint]
+                    for idx in pending[fingerprint]:
+                        self._complete_index()
+                        yield idx, result, elapsed
         except BrokenProcessPool:
-            self.worker_failures += 1
+            self._discard_pool()
+            with self._lock:
+                self.worker_failures += 1
             if obs is not None:
                 obs.count("exec.worker_failures")
             for fingerprint, point in list(remaining.items()):
-                start = perf_counter()
-                result = _run_point(point, obs=obs)
-                elapsed = perf_counter() - start
+                result, elapsed = self._run_inline(point, obs, tracer)
                 finish(fingerprint, result, elapsed)
                 del remaining[fingerprint]
                 for idx in pending[fingerprint]:
+                    self._complete_index()
                     yield idx, result, elapsed
 
     def run_points(
@@ -370,28 +644,33 @@ class Engine:
         store, invalidation, and counters.
         """
         obs = self._resolve_obs()
+        tracer = self._resolve_tracer()
         fingerprint = fingerprint_payload(kind, params)
-        self.submitted += 1
+        with self._lock:
+            self.submitted += 1
         if obs is not None:
             obs.count("exec.points.submitted")
-        payload = self._cache_lookup(fingerprint, obs)
+        with _span(tracer, "cache_lookup"):
+            payload = self._cache_lookup(fingerprint, obs)
         if payload is not None:
-            self._account(hit=True, obs=obs)
-            self._notify()
+            self._account_hit(obs)
             return payload
-        self._account(hit=False, obs=obs)
+        self._account_miss(obs)
         start = perf_counter()
-        payload = compute()
+        with _span(tracer, "point", kind=kind):
+            payload = compute()
         elapsed = perf_counter() - start
-        self.simulated += 1
+        with self._lock:
+            self.simulated += 1
         if obs is not None:
             obs.count("exec.points.simulated")
             obs.record_time("exec.point.wall", elapsed)
         if self.cache is not None:
-            self.cache.put(fingerprint, payload)
+            with _span(tracer, "cache_store"):
+                self.cache.put(fingerprint, payload)
             if obs is not None:
                 obs.count("exec.cache.stores")
-        self._notify()
+        self._complete_index()
         return payload
 
 

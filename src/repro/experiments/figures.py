@@ -681,7 +681,29 @@ def figure12(
 
 
 #: Registry used by the CLI: figure id → zero-argument quick generator.
-FIGURES: Dict[str, object] = {
+def _traced_figure(fig_id: str, fn):
+    """Bracket one figure runner in a ``figure`` span when tracing is on.
+
+    The registry below is the CLI's only entry to the runners, so this
+    one wrapper gives every figure its top-level span without touching
+    the sweep bodies (their engine-level spans nest inside).
+    """
+
+    def wrapper(scale: str = "quick"):
+        from repro.obs.trace import resolve as resolve_tracer
+
+        tracer = resolve_tracer(None)
+        if tracer is None:
+            return fn(scale=scale)
+        with tracer.span(
+            "figure", cat="figure", figure=fig_id, scale=scale
+        ):
+            return fn(scale=scale)
+
+    return wrapper
+
+
+_FIGURES_RAW: Dict[str, object] = {
     "fig1": figure1,
     "fig3": figure3_all,
     "fig4": lambda scale="quick": [
@@ -704,4 +726,8 @@ FIGURES: Dict[str, object] = {
         figure11(100, scale),
     ],
     "fig12": figure12,
+}
+
+FIGURES: Dict[str, object] = {
+    key: _traced_figure(key, fn) for key, fn in _FIGURES_RAW.items()
 }

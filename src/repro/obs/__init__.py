@@ -4,8 +4,11 @@ A low-overhead structured telemetry layer: a bus of counters, gauges,
 timers, and typed events (:mod:`repro.obs.bus`); per-run JSON manifests
 (:mod:`repro.obs.manifest`); a unified JSONL trace format joining
 periodic controller samples with the event stream
-(:mod:`repro.obs.export`); and run-summary reports rendered from a
-manifest + trace (:mod:`repro.obs.report`).
+(:mod:`repro.obs.export`); run-summary reports rendered from a
+manifest + trace (:mod:`repro.obs.report`); hierarchical wall-clock
+*spans* exported as Chrome trace-event JSON (:mod:`repro.obs.trace`);
+and live progress/ETA/worker-health tracking
+(:mod:`repro.obs.progress`).
 
 Telemetry is **disabled by default** and is a strict no-op when disabled:
 every instrumentation site in the packet simulator, the fluid simulator,
@@ -25,7 +28,13 @@ from repro.obs.bus import (
     set_default,
     use,
 )
-from repro.obs.export import TraceData, read_trace, tracer_samples, write_trace
+from repro.obs.export import (
+    TraceData,
+    open_maybe_gzip,
+    read_trace,
+    tracer_samples,
+    write_trace,
+)
 from repro.obs.manifest import (
     CAMPAIGN_SCHEMA,
     SCHEMA,
@@ -33,7 +42,23 @@ from repro.obs.manifest import (
     RunManifest,
     manifest_path_for,
 )
+from repro.obs.progress import (
+    ProgressTracker,
+    eta_seconds,
+    format_duration,
+    rss_self_kb,
+)
 from repro.obs.report import FlowReport, RunReport, load_report
+from repro.obs.trace import (
+    ChromeTrace,
+    Span,
+    SpanAggregate,
+    Tracer,
+    aggregate_spans,
+    read_chrome_trace,
+    render_span_report,
+    write_chrome_trace,
+)
 
 __all__ = [
     "GaugeStat",
@@ -45,9 +70,22 @@ __all__ = [
     "set_default",
     "use",
     "TraceData",
+    "open_maybe_gzip",
     "read_trace",
     "tracer_samples",
     "write_trace",
+    "ChromeTrace",
+    "Span",
+    "SpanAggregate",
+    "Tracer",
+    "aggregate_spans",
+    "read_chrome_trace",
+    "render_span_report",
+    "write_chrome_trace",
+    "ProgressTracker",
+    "eta_seconds",
+    "format_duration",
+    "rss_self_kb",
     "SCHEMA",
     "CAMPAIGN_SCHEMA",
     "CampaignManifest",

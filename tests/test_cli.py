@@ -664,3 +664,164 @@ values = [0]
     )
     assert code == 0
     assert (out_dir / "results.csv").exists()
+
+
+# -- span tracing, progress, top (observability PR) --------------------------
+
+
+@pytest.fixture
+def _clean_trace_env():
+    """Undo the process-wide state --spans-out/--trace-out installs."""
+    yield
+    import os
+
+    from repro.obs import trace
+
+    os.environ.pop("REPRO_TRACE", None)
+    os.environ.pop("REPRO_PROFILE_POINTS", None)
+    trace.clear_default()
+
+
+def test_simulate_spans_out_and_trace_report(
+    _clean_trace_env, tmp_path, capsys
+):
+    spans = tmp_path / "spans.json"
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "10",
+            "--spans-out",
+            str(spans),
+            "--profile-points",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "span events" in out
+
+    from repro.obs import read_chrome_trace
+
+    parsed = read_chrome_trace(str(spans))
+    names = {span.name for span in parsed.spans}
+    assert {"point", "simulate"} <= names
+    assert parsed.hotspots  # --profile-points rode along
+
+    assert main(["trace", "report", str(spans)]) == 0
+    report = capsys.readouterr().out
+    assert "simulate" in report
+    assert "self_s" in report
+    assert "profiled hotspots" in report
+
+
+def test_simulate_progress_line(_clean_trace_env, capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "10",
+            "--progress",
+        ]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "1/1" in err and "eta" in err
+
+
+def test_trace_report_missing_and_malformed(tmp_path, capsys):
+    assert main(["trace", "report", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["trace", "report", str(bad)]) == 2
+    assert "malformed trace" in capsys.readouterr().err
+
+
+def test_campaign_trace_progress_status_top_cycle(
+    _clean_trace_env, tmp_path, capsys
+):
+    import json
+
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    trace_path = tmp_path / "camp-trace.json.gz"
+
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec),
+            "--out",
+            str(out_dir),
+            "--trace-out",
+            str(trace_path),
+            "--progress",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "span events" in captured.out
+    assert "eta" in captured.err  # the live --progress line
+
+    # Chrome trace: campaign > stage > point vocabulary present.
+    from repro.obs import read_chrome_trace
+
+    parsed = read_chrome_trace(str(trace_path))
+    names = {span.name for span in parsed.spans}
+    assert {"campaign", "stage", "point", "simulate"} <= names
+
+    # progress.json sidecar next to the journal.
+    sidecar = json.loads((out_dir / "progress.json").read_text())
+    assert sidecar["done"] == 3 and sidecar["total"] == 3
+
+    # status --json shares the tracker's ETA math.
+    assert main(["campaign", "status", str(out_dir), "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["state"] == "complete"
+    assert status["units"]["done"] == 3
+    assert status["eta_s"] == 0.0
+    assert "stage0" in status["stages"]
+
+    # top --once renders the same snapshot for humans.
+    assert main(["top", str(out_dir), "--once"]) == 0
+    top_out = capsys.readouterr().out
+    assert "3/3" in top_out and "eta" in top_out
+
+
+def test_top_midrun_journal_renders_finite_eta(
+    _clean_trace_env, tmp_path, capsys
+):
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec),
+            "--out",
+            str(out_dir),
+            "--stop-after",
+            "2",
+        ]
+    )
+    assert code == 3
+    capsys.readouterr()
+
+    assert main(["top", str(out_dir), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "2/3" in out
+    assert "eta" in out and "eta ?" not in out  # finite estimate
+    assert "resumable" in out
+
+
+def test_top_rejects_non_campaign_dir(tmp_path, capsys):
+    assert main(["top", str(tmp_path), "--once"]) == 2
+    assert "campaign error" in capsys.readouterr().err

@@ -496,3 +496,64 @@ def test_cache_dir_fsync_failure_is_swallowed(tmp_path, monkeypatch):
     fingerprint = points(1)[0].fingerprint()
     cache.put(fingerprint, {"throughput": 2.0})
     assert cache.get(fingerprint) == {"throughput": 2.0}
+
+
+# -- progress accounting (exactly-once done/hits) ----------------------------
+
+
+def test_progress_done_advances_once_per_index(tmp_path):
+    """``done``/``hits`` advance exactly once per submitted index: cache
+    hits at scan time, executed points (and their duplicates) when the
+    result lands — never at submit time."""
+    pts = points(3, duration=5.0)
+    Engine(cache=ResultCache(tmp_path)).run_points(pts[:2])  # warm 2
+
+    seen = []
+    engine = Engine(
+        jobs=2,
+        cache=ResultCache(tmp_path),
+        progress=lambda d, s, h: seen.append((d, s, h)),
+    )
+    # 4 submissions: two warm hits, one cold, one duplicate of the cold.
+    engine.run_points(pts + [pts[2]])
+    assert engine.stats["submitted"] == 4
+    assert engine.done == 4
+    assert engine.hits == 2
+    # done is strictly +1 per resolution and never exceeds submitted.
+    assert [d for d, _s, _h in seen] == [1, 2, 3, 4]
+    assert all(d <= s and h <= d for d, s, h in seen)
+    # The two hits are counted during the scan, before any execution.
+    assert [h for _d, _s, h in seen] == [1, 2, 2, 2]
+
+
+def test_progress_accounting_with_broken_pool_retry(monkeypatch):
+    """Inline retries after a dead worker advance ``done`` exactly once
+    per lost point — the pre-fix code double-counted or skipped."""
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("monkeypatched worker entry needs fork start method")
+
+    seen = []
+    engine = Engine(
+        jobs=2, progress=lambda d, s, h: seen.append((d, s, h))
+    )
+    monkeypatch.setattr(engine_mod, "_execute_point", _die_in_worker)
+    engine.run_points(points(3, duration=5.0))
+    assert engine.worker_failures == 1
+    assert engine.done == 3
+    assert engine.hits == 0
+    assert [d for d, _s, _h in seen] == [1, 2, 3]
+
+
+def test_persistent_pool_reused_across_batches():
+    """The worker pool survives between batches (single points included)
+    and is shut down by close()."""
+    engine = Engine(jobs=2)
+    with engine:
+        engine.run_points(points(1, duration=5.0))
+        first_pool = engine._executor
+        assert first_pool is not None  # single point still fans out
+        engine.run_points(points(2, duration=5.0))
+        assert engine._executor is first_pool
+    assert engine._executor is None
