@@ -36,6 +36,8 @@ class AlgorithmSpec:
         laws: Dotted path of the law module holding the kernels.
         packet: ``"module:Class"`` of the per-ACK adapter, or None.
         fluid: ``"module:Class"`` of the per-tick adapter, or None.
+        vec: ``"module:Class"`` of the vectorized (array-of-flows)
+            per-tick kernel, or None.
     """
 
     name: str
@@ -44,6 +46,7 @@ class AlgorithmSpec:
     laws: str
     packet: Optional[str]
     fluid: Optional[str]
+    vec: Optional[str] = None
 
     @property
     def substrates(self) -> Tuple[str, ...]:
@@ -53,6 +56,7 @@ class AlgorithmSpec:
             for substrate, ref in (
                 ("packet", self.packet),
                 ("fluid", self.fluid),
+                ("fluid-vec", self.vec),
             )
             if ref is not None
         )
@@ -66,6 +70,7 @@ _SPECS = (
         laws="repro.cc.laws.bbr",
         packet="repro.cc.bbr:BBRv1",
         fluid="repro.fluidsim.flows:FluidBBR",
+        vec="repro.fluidsim.vec_laws:VecBBR",
     ),
     AlgorithmSpec(
         name="bbr2",
@@ -74,6 +79,7 @@ _SPECS = (
         laws="repro.cc.laws.bbr2",
         packet="repro.cc.bbr2:BBRv2",
         fluid="repro.fluidsim.flows:FluidBBR2",
+        vec="repro.fluidsim.vec_laws:VecBBR2",
     ),
     AlgorithmSpec(
         name="copa",
@@ -82,6 +88,7 @@ _SPECS = (
         laws="repro.cc.laws.copa",
         packet="repro.cc.copa:Copa",
         fluid="repro.fluidsim.flows:FluidCopa",
+        vec="repro.fluidsim.vec_laws:VecCopa",
     ),
     AlgorithmSpec(
         name="cubic",
@@ -90,6 +97,7 @@ _SPECS = (
         laws="repro.cc.laws.cubic",
         packet="repro.cc.cubic:Cubic",
         fluid="repro.fluidsim.flows:FluidCubic",
+        vec="repro.fluidsim.vec_laws:VecCubic",
     ),
     AlgorithmSpec(
         name="reno",
@@ -98,6 +106,7 @@ _SPECS = (
         laws="repro.cc.laws.reno",
         packet="repro.cc.reno:Reno",
         fluid="repro.fluidsim.flows:FluidReno",
+        vec="repro.fluidsim.vec_laws:VecReno",
     ),
     AlgorithmSpec(
         name="vegas",
@@ -106,6 +115,7 @@ _SPECS = (
         laws="repro.cc.laws.vegas",
         packet="repro.cc.vegas:Vegas",
         fluid="repro.fluidsim.flows:FluidVegas",
+        vec="repro.fluidsim.vec_laws:VecVegas",
     ),
     AlgorithmSpec(
         name="vivace",
@@ -114,6 +124,7 @@ _SPECS = (
         laws="repro.cc.laws.vivace",
         packet="repro.cc.vivace:Vivace",
         fluid="repro.fluidsim.flows:FluidVivace",
+        vec="repro.fluidsim.vec_laws:VecVivace",
     ),
 )
 
@@ -160,6 +171,20 @@ def fluid_class(name: str) -> type:
             f"congestion control {name!r} has no fluid-substrate adapter"
         )
     return _load(spec.fluid)
+
+
+def vec_class(name: str) -> type:
+    """The vectorized per-tick kernel class for ``name``.
+
+    Raises KeyError when the algorithm has no array-of-flows kernel
+    (i.e. it cannot run on the ``fluid-vec`` substrate).
+    """
+    spec = get_spec(name)
+    if spec.vec is None:
+        raise KeyError(
+            f"congestion control {name!r} has no vectorized fluid kernel"
+        )
+    return _load(spec.vec)
 
 
 def state_names(name: str) -> Dict[str, str]:

@@ -310,6 +310,87 @@ class Checker:
                 time=now,
             )
 
+    # -- vectorized fluid substrate (array states) ----------------------
+
+    def fluid_vec_flows(self, now, inflight, active, flow_ids, cc_names):
+        """Per-tick bounds over the vectorized substrate's flow columns.
+
+        The array analogue of :meth:`fluid_flow`: ``now``/``inflight``
+        are per-flow float arrays, ``active`` a bool mask, and the
+        first offending row (lowest global index, matching the scalar
+        loop's flow order) is reported.  Per-CCA law-object invariants
+        are scalar-substrate-only — the vec kernels hold column arrays,
+        not law objects — so only the state bounds run here.
+
+        Imports numpy lazily so packet-only runs never pay for it.
+        """
+        import numpy as np
+
+        self.checks_run += int(active.sum())
+        bad = active & (~np.isfinite(inflight) | (inflight <= 0))
+        if bad.any():
+            row = int(np.argmax(bad))
+            self.fail(
+                "fluid.inflight",
+                f"in-flight target {float(inflight[row])!r}B must be "
+                "finite and positive for an active flow",
+                time=float(now[row]),
+                flow_id=int(flow_ids[row]),
+                cc=cc_names[row],
+            )
+
+    def fluid_vec_conservation(
+        self,
+        now,
+        *,
+        total_rate,
+        capacity,
+        queue,
+        buffer_bytes,
+        slack,
+        strict,
+        active,
+    ) -> None:
+        """Rate-conservation audit over a batch of fluid points.
+
+        The array analogue of :meth:`fluid_conservation`: every
+        argument is a per-point array (``strict``/``active`` bool
+        masks), and the first offending point is reported.
+        """
+        import numpy as np
+
+        self.checks_run += int(active.sum())
+        bad = active & (~np.isfinite(total_rate) | (total_rate < 0))
+        if bad.any():
+            p = int(np.argmax(bad))
+            self.fail(
+                "fluid.rate_conservation",
+                f"flow rates sum to {float(total_rate[p])!r}B/s (must "
+                "be finite and non-negative)",
+                time=float(now[p]),
+            )
+        bad = active & strict & (total_rate > capacity + slack)
+        if bad.any():
+            p = int(np.argmax(bad))
+            self.fail(
+                "fluid.rate_conservation",
+                f"flow rates sum to {float(total_rate[p]):.1f}B/s > "
+                f"capacity {float(capacity[p]):.1f}B/s "
+                f"(+{float(slack[p]):.1f}B/s tolerance)",
+                time=float(now[p]),
+            )
+        bad = active & (
+            (queue < -1e-9) | (queue > buffer_bytes + 1e-9)
+        )
+        if bad.any():
+            p = int(np.argmax(bad))
+            self.fail(
+                "fluid.queue_bounds",
+                f"queue {float(queue[p])!r}B outside "
+                f"[0, {float(buffer_bytes[p])}B]",
+                time=float(now[p]),
+            )
+
 
 # -- process-wide default (mirrors repro.obs.bus) --------------------------
 

@@ -543,11 +543,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         heartbeat=tracker.heartbeat if tracker is not None else None,
     )
     from repro.exec import use as use_engine
+    from repro.experiments.runner import use_fluid_substrate
     from repro.obs import use as use_obs
 
     # Figures drive run_mix internally without obs/engine parameters, so
     # instrument them by installing both as the process defaults.
-    with use_obs(obs), use_engine(engine):
+    with use_obs(obs), use_engine(engine), use_fluid_substrate(
+        getattr(args, "backend", None)
+    ):
         produced = FIGURES[key](scale=args.scale)
     if engine.done:
         print(file=sys.stderr)  # End the \r progress line.
@@ -718,15 +721,18 @@ def _run_campaign_cmd(args: argparse.Namespace, resume: bool) -> int:
                 flush=True,
             )
 
-    summary = run_campaign(
-        spec,
-        out_dir,
-        engine=engine,
-        resume=resume,
-        stop_after=args.stop_after,
-        log=log,
-        on_progress=on_progress,
-    )
+    from repro.experiments.runner import use_fluid_substrate
+
+    with use_fluid_substrate(getattr(args, "backend", None)):
+        summary = run_campaign(
+            spec,
+            out_dir,
+            engine=engine,
+            resume=resume,
+            stop_after=args.stop_after,
+            log=log,
+            on_progress=on_progress,
+        )
     if args.progress:
         print(file=sys.stderr)  # End the \r progress line.
     if args.trace_out and tracer is not None:
@@ -930,7 +936,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: duration/6; must lie in [0, duration))",
     )
     p.add_argument(
-        "--backend", choices=("packet", "fluid"), default="fluid"
+        "--backend",
+        choices=("packet", "fluid", "fluid-vec"),
+        default="fluid",
     )
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
@@ -947,6 +955,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("quick", "full"),
         default="quick",
         help="quick = CI-sized, full = paper parameters",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("fluid", "fluid-vec"),
+        default="fluid",
+        help="substrate serving the figure's fluid-model points "
+        "(fluid-vec is bit-identical and faster)",
     )
     p.add_argument(
         "--csv-dir", default=None, help="also write CSVs to this directory"
@@ -971,7 +986,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration", type=float, default=120.0)
     p.add_argument(
-        "--backend", choices=("packet", "fluid"), default="packet"
+        "--backend",
+        choices=("packet", "fluid", "fluid-vec"),
+        default="packet",
     )
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
@@ -1023,6 +1040,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop cleanly after N newly executed units (simulates an "
         "interrupted campaign; exit code 3)",
     )
+    cp.add_argument(
+        "--backend",
+        choices=("fluid", "fluid-vec"),
+        default="fluid",
+        help="substrate serving the campaign's fluid-model units "
+        "(fluid-vec is bit-identical and faster)",
+    )
     _add_campaign_obs_args(cp)
     _add_exec_args(cp)
     _add_check_args(cp)
@@ -1038,6 +1062,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="stop cleanly after N newly executed units (exit code 3)",
+    )
+    cp.add_argument(
+        "--backend",
+        choices=("fluid", "fluid-vec"),
+        default="fluid",
+        help="substrate serving the campaign's fluid-model units "
+        "(fluid-vec is bit-identical and faster)",
     )
     _add_campaign_obs_args(cp)
     _add_exec_args(cp)

@@ -94,6 +94,27 @@ PROFILE_ENV = "REPRO_PROFILE_POINTS"
 PROFILE_ROWS = 15
 HOTSPOT_ROWS = 20
 
+#: Points whose estimated cost (flow count x duration x trials, in
+#: flow-seconds) falls below this are *cheap*: per-point dispatch
+#: overhead (a future, a pickle round-trip, a worker wakeup) is
+#: comparable to the simulation itself, so cheap points are grouped
+#: into per-worker chunks instead of submitted one per future.
+CHUNK_COST_THRESHOLD = 20_000.0
+
+#: Upper bound on points per chunk (memory guard for the vectorized
+#: batch path).
+CHUNK_MAX_POINTS = 32
+
+
+def _point_cost(point: ScenarioPoint) -> float:
+    """Estimated cost of a point in flow-seconds (x trials)."""
+    flows = sum(count for _cc, count in point.mix)
+    return point.duration * point.trials * max(1, flows)
+
+
+def _chunkable(point: ScenarioPoint) -> bool:
+    return _point_cost(point) < CHUNK_COST_THRESHOLD
+
 
 def _span(tracer: Any, name: str, **args: Any):
     """A tracer span, or a no-op context when tracing is disabled."""
@@ -192,6 +213,21 @@ def _execute_point(
     return result, elapsed, extras
 
 
+def _mix_request(point: ScenarioPoint) -> Dict[str, Any]:
+    """A point's :func:`repro.experiments.runner.run_mix` kwargs."""
+    return {
+        "link": point.link,
+        "mix": list(point.mix),
+        "duration": point.duration,
+        "warmup": point.warmup,
+        "backend": point.backend,
+        "trials": point.trials,
+        "seed": point.seed,
+        "rtts": point.rtts_dict(),
+        "loss_mode": point.loss_mode,
+    }
+
+
 def _run_point(point: ScenarioPoint, obs: Any) -> "ScenarioResult":
     from repro.check import resolve as resolve_check
     from repro.experiments.runner import run_mix
@@ -201,18 +237,83 @@ def _run_point(point: ScenarioPoint, obs: Any) -> "ScenarioResult":
         # Violations raised inside this point should carry its cache
         # identity (run_mix adds the scenario parameters itself).
         check.set_context(fingerprint=point.fingerprint())
-    return run_mix(
-        point.link,
-        list(point.mix),
-        duration=point.duration,
-        warmup=point.warmup,
-        backend=point.backend,
-        trials=point.trials,
-        seed=point.seed,
-        rtts=point.rtts_dict(),
-        loss_mode=point.loss_mode,
-        obs=obs,
-    )
+    return run_mix(obs=obs, **_mix_request(point))
+
+
+def _run_chunk(
+    points: Sequence[ScenarioPoint], obs: Any, tracer: Any
+) -> List[Tuple["ScenarioResult", float]]:
+    """Execute a chunk of points, pooling the fluid-vec members.
+
+    All ``backend="fluid-vec"`` points of the chunk run as *one*
+    vectorized :func:`repro.experiments.runner.run_mix_batch` call
+    (bit-identical to per-point execution — the substrate is
+    batch-invariant); their shared wall time is attributed evenly.
+    Other backends execute sequentially with the usual per-point spans.
+    Returns ``(result, wall_seconds)`` aligned with ``points``.
+    """
+    from repro.experiments.runner import fluid_substrate, run_mix_batch
+
+    outcomes: List[Optional[Tuple["ScenarioResult", float]]]
+    outcomes = [None] * len(points)
+    vec = [
+        i
+        for i, p in enumerate(points)
+        if fluid_substrate(p.backend) == "fluid-vec"
+    ]
+    if vec:
+        start = perf_counter()
+        with _span(tracer, "point_batch", n=len(vec), backend="fluid-vec"):
+            batch = run_mix_batch(
+                [_mix_request(points[i]) for i in vec], obs=obs
+            )
+        share = (perf_counter() - start) / len(vec)
+        for i, result in zip(vec, batch):
+            outcomes[i] = (result, share)
+    for i, point in enumerate(points):
+        if outcomes[i] is not None:
+            continue
+        start = perf_counter()
+        with _span(tracer, "point", fingerprint=point.fingerprint()[:12]):
+            with _span(tracer, "simulate", backend=point.backend):
+                result = _run_point(point, obs=obs)
+        outcomes[i] = (result, perf_counter() - start)
+    return outcomes  # type: ignore[return-value]  # all filled above
+
+
+def _execute_chunk(
+    points: Sequence[ScenarioPoint],
+) -> List[Tuple["ScenarioResult", float, Dict]]:
+    """Worker entry: run a chunk of cheap points in one process.
+
+    The chunked counterpart of :func:`_execute_point`: one future (and
+    one pickle round-trip) covers the whole chunk.  Trace spans are
+    drained once and ride with the last entry; every entry carries the
+    worker's pid/RSS heartbeat.  Chunks are never profiled — the
+    engine falls back to per-point dispatch when profiling is on.
+    """
+    from repro.obs import bus, trace
+    from repro.obs.progress import rss_self_kb
+
+    bus.set_default(None)
+    tracer = trace.Tracer() if trace.enabled_from_env() else None
+    trace.set_default(tracer)
+
+    outcomes = _run_chunk(points, obs=None, tracer=tracer)
+    rss_kb = rss_self_kb()
+    executed = []
+    for i, (result, elapsed) in enumerate(outcomes):
+        spans: List = []
+        if tracer is not None and i == len(outcomes) - 1:
+            spans = tracer.drain()
+        extras = {
+            "pid": os.getpid(),
+            "rss_kb": rss_kb,
+            "spans": spans,
+            "profile": [],
+        }
+        executed.append((result, elapsed, extras))
+    return executed
 
 
 class Engine:
@@ -236,6 +337,12 @@ class Engine:
         profile_slowest: Keep cProfile hotspots for this many slowest
             executed points (0 disables).  The CLI also exports
             ``REPRO_PROFILE_POINTS`` so pool workers profile too.
+        chunking: Group cheap points (estimated cost below
+            :data:`CHUNK_COST_THRESHOLD`) into per-worker chunks, and
+            pool each chunk's ``fluid-vec`` points into one vectorized
+            call.  Results are identical either way; chunking only
+            removes dispatch overhead.  Automatically suspended while
+            profiling (profiles are per-point by construction).
     """
 
     def __init__(
@@ -247,6 +354,7 @@ class Engine:
         tracer: Any = None,
         heartbeat: Optional[HeartbeatFn] = None,
         profile_slowest: int = 0,
+        chunking: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -255,6 +363,7 @@ class Engine:
                 f"profile_slowest must be >= 0, got {profile_slowest}"
             )
         self.jobs = jobs
+        self.chunking = chunking
         self.cache = cache
         self.progress = progress
         self.heartbeat = heartbeat
@@ -521,6 +630,15 @@ class Engine:
             self.heartbeat(os.getpid(), rss_self_kb())
         return result, elapsed
 
+    def _chunking_active(self) -> bool:
+        """Chunk cheap points?  Suspended while profiling: profiles
+        are attributed per point, and chunks are never profiled."""
+        return (
+            self.chunking
+            and self.profile_slowest == 0
+            and profile_points_from_env() == 0
+        )
+
     def _iter_inline(
         self,
         pending: Dict[str, List[int]],
@@ -529,12 +647,71 @@ class Engine:
         obs: Any,
         tracer: Any,
     ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
+        # Inline, only vectorizable points gain from chunking (other
+        # backends would execute the same sequential loop either way);
+        # pool them into batched calls and run the rest as before.
+        pooled: List[str] = []
+        if self._chunking_active():
+            from repro.experiments.runner import fluid_substrate
+
+            pooled = [
+                fingerprint
+                for fingerprint, point in pending_points.items()
+                if fluid_substrate(point.backend) == "fluid-vec"
+                and _chunkable(point)
+            ]
+        if len(pooled) < 2:
+            pooled = []
+        for lo in range(0, len(pooled), CHUNK_MAX_POINTS):
+            unit = pooled[lo:lo + CHUNK_MAX_POINTS]
+            outcomes = _run_chunk(
+                [pending_points[fp] for fp in unit], obs, tracer
+            )
+            if self.heartbeat is not None:
+                from repro.obs.progress import rss_self_kb
+
+                self.heartbeat(os.getpid(), rss_self_kb())
+            for fingerprint, (result, elapsed) in zip(unit, outcomes):
+                finish(fingerprint, result, elapsed)
+                for idx in pending[fingerprint]:
+                    self._complete_index()
+                    yield idx, result, elapsed
+        pooled_set = set(pooled)
         for fingerprint, point in pending_points.items():
+            if fingerprint in pooled_set:
+                continue
             result, elapsed = self._run_inline(point, obs, tracer)
             finish(fingerprint, result, elapsed)
             for idx in pending[fingerprint]:
                 self._complete_index()
                 yield idx, result, elapsed
+
+    def _dispatch_units(
+        self, pending_points: Dict[str, ScenarioPoint]
+    ) -> List[List[str]]:
+        """Group fingerprints into submission units for the pool.
+
+        Expensive points (and everything, when chunking is off) are
+        solo units.  Cheap points are split into ``jobs`` roughly equal
+        chunks — one per worker — capped at :data:`CHUNK_MAX_POINTS`.
+        """
+        if not self._chunking_active():
+            return [[fp] for fp in pending_points]
+        cheap = [
+            fp for fp, point in pending_points.items() if _chunkable(point)
+        ]
+        cheap_set = set(cheap)
+        units = [[fp] for fp in pending_points if fp not in cheap_set]
+        if len(cheap) < 2:
+            units.extend([fp] for fp in cheap)
+            return units
+        size = min(
+            CHUNK_MAX_POINTS, -(-len(cheap) // self.jobs)  # ceil div
+        )
+        units.extend(
+            cheap[lo:lo + size] for lo in range(0, len(cheap), size)
+        )
+        return units
 
     def _iter_parallel(
         self,
@@ -545,6 +722,10 @@ class Engine:
         tracer: Any,
     ) -> Iterator[Tuple[int, "ScenarioResult", float]]:
         """Fan distinct points out over workers, yielding completions.
+
+        Cheap points are grouped into per-worker chunks (one future,
+        one pickle round-trip for the lot) when chunking is active;
+        expensive points still get a future each.
 
         A dead worker poisons the whole pool (``BrokenProcessPool``) and
         would historically abort the batch, discarding every
@@ -557,24 +738,39 @@ class Engine:
         remaining = dict(pending_points)
         try:
             pool = self._pool()
-            futures = {
-                pool.submit(_execute_point, point): fingerprint
-                for fingerprint, point in pending_points.items()
-            }
+            futures = {}
+            for unit in self._dispatch_units(pending_points):
+                if len(unit) == 1:
+                    future = pool.submit(
+                        _execute_point, pending_points[unit[0]]
+                    )
+                else:
+                    future = pool.submit(
+                        _execute_chunk,
+                        [pending_points[fp] for fp in unit],
+                    )
+                futures[future] = unit
             outstanding = set(futures)
             while outstanding:
                 ready, outstanding = wait(
                     outstanding, return_when=FIRST_COMPLETED
                 )
                 for future in ready:
-                    result, elapsed, extras = future.result()
-                    fingerprint = futures[future]
-                    self._absorb_extras(extras, elapsed, fingerprint, tracer)
-                    finish(fingerprint, result, elapsed)
-                    del remaining[fingerprint]
-                    for idx in pending[fingerprint]:
-                        self._complete_index()
-                        yield idx, result, elapsed
+                    unit = futures[future]
+                    executed = future.result()
+                    if len(unit) == 1:
+                        executed = [executed]
+                    for fingerprint, (result, elapsed, extras) in zip(
+                        unit, executed
+                    ):
+                        self._absorb_extras(
+                            extras, elapsed, fingerprint, tracer
+                        )
+                        finish(fingerprint, result, elapsed)
+                        del remaining[fingerprint]
+                        for idx in pending[fingerprint]:
+                            self._complete_index()
+                            yield idx, result, elapsed
         except BrokenProcessPool:
             self._discard_pool()
             with self._lock:

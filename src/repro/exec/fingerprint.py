@@ -35,7 +35,7 @@ __all__ = [
 #: Cache payload schema version.  Bump whenever the fingerprinted inputs
 #: or the cached payload layout change incompatibly; old entries then
 #: miss (different fingerprint) instead of being misread.
-CACHE_SCHEMA = 2  # v2: controllers rebuilt on repro.cc.laws kernels.
+CACHE_SCHEMA = 3  # v3: fluid-vec backend + batched engine execution.
 
 #: Package version folded into every fingerprint so results cached by an
 #: older simulator never masquerade as current ones.  Module-level (not

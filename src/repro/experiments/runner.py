@@ -2,21 +2,39 @@
 
 The experiment harness asks one question over and over: *given a link and
 a mix of flows, what per-flow throughput does each CCA class get?*  This
-module answers it against either substrate — ``backend="packet"`` for the
-high-fidelity discrete-event simulator (1–2 flow validation figures) or
-``backend="fluid"`` for the fluid simulator (large NE sweeps) — with
-multi-trial averaging and seeded per-trial jitter, mirroring the paper's
-10-trial methodology.
+module answers it against any substrate — ``backend="packet"`` for the
+high-fidelity discrete-event simulator (1–2 flow validation figures),
+``backend="fluid"`` for the fluid simulator (large NE sweeps), or
+``backend="fluid-vec"`` for the vectorized fluid substrate (bitwise the
+same trajectories as ``fluid``, with all trials of a scenario advanced
+as one numpy batch) — with multi-trial averaging and seeded per-trial
+jitter, mirroring the paper's 10-trial methodology.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.fluidsim.core import FluidSpec, run_fluid
+from repro.fluidsim.vec import (
+    BatchPoint,
+    run_fluid_vec,
+    run_fluid_vec_batch,
+)
 from repro.sim.network import FlowSpec, run_dumbbell
 from repro.util.config import LinkConfig
 
@@ -24,7 +42,64 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.engine import Engine
     from repro.obs.bus import Telemetry
 
-BACKENDS = ("packet", "fluid")
+BACKENDS = ("packet", "fluid", "fluid-vec")
+
+#: Env var redirecting ``backend="fluid"`` requests to another fluid
+#: substrate ("fluid-vec").  The vectorized substrate reproduces the
+#: scalar trajectories bit for bit, so the redirect changes wall time
+#: only — results (and therefore cache fingerprints, which key the
+#: *declared* backend) are unchanged.  Environment-based so worker
+#: processes inherit it.
+FLUID_SUBSTRATE_ENV = "REPRO_FLUID_SUBSTRATE"
+
+_FLUID_SUBSTRATES = ("fluid", "fluid-vec")
+
+
+def fluid_substrate(backend: str) -> str:
+    """The substrate that actually serves ``backend``.
+
+    ``"fluid"`` may be redirected to ``"fluid-vec"`` through
+    :data:`FLUID_SUBSTRATE_ENV` (the CLI's ``--backend fluid-vec`` on
+    figures and campaigns); every other backend maps to itself.
+    """
+    if backend != "fluid":
+        return backend
+    override = os.environ.get(FLUID_SUBSTRATE_ENV, "").strip().lower()
+    if not override:
+        return backend
+    if override not in _FLUID_SUBSTRATES:
+        raise ValueError(
+            f"{FLUID_SUBSTRATE_ENV} must be one of "
+            f"{_FLUID_SUBSTRATES}, got {override!r}"
+        )
+    return override
+
+
+@contextmanager
+def use_fluid_substrate(backend: Optional[str]) -> Iterator[None]:
+    """Temporarily serve ``backend="fluid"`` requests via ``backend``.
+
+    ``None`` or ``"fluid"`` is a no-op.  Sets (and restores)
+    :data:`FLUID_SUBSTRATE_ENV` so engine pool workers spawned inside
+    the block inherit the redirect.
+    """
+    if backend in (None, "fluid"):
+        yield
+        return
+    if backend not in _FLUID_SUBSTRATES:
+        raise ValueError(
+            f"fluid substrate must be one of {_FLUID_SUBSTRATES}, "
+            f"got {backend!r}"
+        )
+    previous = os.environ.get(FLUID_SUBSTRATE_ENV)
+    os.environ[FLUID_SUBSTRATE_ENV] = backend
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FLUID_SUBSTRATE_ENV, None)
+        else:
+            os.environ[FLUID_SUBSTRATE_ENV] = previous
 
 
 def expand_mix(
@@ -131,7 +206,7 @@ def run_mix(
         duration: Flow lifetime per trial (the paper uses 120 s).
         warmup: Measurement exclusion window; defaults to ``duration/6``
             to skip the startup transient.
-        backend: ``"packet"`` or ``"fluid"``.
+        backend: ``"packet"``, ``"fluid"``, or ``"fluid-vec"``.
         trials: Trials to average; trial ``t`` uses seed ``seed + t``.
         seed: Base RNG seed (fluid backend jitter / loss lottery).
         rtts: Optional per-CCA base RTT override in seconds.
@@ -139,17 +214,8 @@ def run_mix(
         obs: Optional telemetry bus threaded into the substrate;
             defaults to the process-wide bus (usually disabled).
     """
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend}")
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    if warmup is None:
-        warmup = duration / 6.0
-    if not 0 <= warmup < duration:
-        raise ValueError(
-            f"warmup must lie in [0, duration), got warmup={warmup} "
-            f"with duration={duration}"
-        )
+    warmup = _validate_mix_args(backend, trials, duration, warmup)
+    backend = fluid_substrate(backend)
 
     from repro.check import resolve as resolve_check
     from repro.obs.bus import resolve
@@ -165,24 +231,155 @@ def run_mix(
             seed=seed,
         )
 
+    if backend == "fluid-vec":
+        trial_results = run_fluid_vec_batch(
+            _vec_trial_points(
+                link, mix, duration, warmup, trials, seed, rtts, loss_mode
+            ),
+            obs=obs,
+            check=check,
+        )
+    else:
+        trial_results = [
+            _run_once(
+                link,
+                mix,
+                duration,
+                warmup,
+                backend,
+                seed + trial,
+                rtts,
+                loss_mode,
+                obs,
+            )
+            for trial in range(trials)
+        ]
+    return _aggregate_trials(mix, trial_results)
+
+
+def run_mix_batch(
+    requests: Sequence[Dict[str, Any]],
+    obs: Optional["Telemetry"] = None,
+) -> List[ScenarioResult]:
+    """Run several :func:`run_mix` requests, batching fluid-vec work.
+
+    Each request is a mapping of :func:`run_mix` keyword arguments
+    (minus ``obs``); results come back in request order.  Every trial
+    of every ``backend="fluid-vec"`` request is pooled into a *single*
+    vectorized simulation — the execution engine's chunked dispatch
+    relies on this to amortize tick overhead across whole sweeps.
+    Other backends fall back to sequential :func:`run_mix` calls.  The
+    vectorized substrate is batch-invariant bit for bit, so the
+    returned results are identical to per-request calls.
+    """
+    from repro.check import resolve as resolve_check
+    from repro.obs.bus import resolve
+
+    obs = resolve(obs)
+    results: List[Optional[ScenarioResult]] = [None] * len(requests)
+    vec_points: List[BatchPoint] = []
+    vec_slots: List[Tuple[int, Sequence[Tuple[str, int]], int]] = []
+    for index, request in enumerate(requests):
+        declared = request.get("backend", "fluid")
+        if fluid_substrate(declared) == "fluid-vec":
+            warmup = _validate_mix_args(
+                declared,
+                request.get("trials", 1),
+                request.get("duration", 60.0),
+                request.get("warmup"),
+            )
+            points = _vec_trial_points(
+                request["link"],
+                request["mix"],
+                request.get("duration", 60.0),
+                warmup,
+                request.get("trials", 1),
+                request.get("seed", 0),
+                request.get("rtts"),
+                request.get("loss_mode", "proportional"),
+            )
+            vec_slots.append((index, request["mix"], len(points)))
+            vec_points.extend(points)
+        else:
+            results[index] = run_mix(obs=obs, **request)
+    if vec_points:
+        check = resolve_check(None)
+        if check is not None:
+            check.set_context(
+                backend="fluid-vec", batched_points=len(vec_points)
+            )
+        sims = run_fluid_vec_batch(vec_points, obs=obs, check=check)
+        cursor = 0
+        for index, mix, count in vec_slots:
+            results[index] = _aggregate_trials(
+                mix, sims[cursor:cursor + count]
+            )
+            cursor += count
+    return results  # type: ignore[return-value]
+
+
+def _validate_mix_args(
+    backend: str,
+    trials: int,
+    duration: float,
+    warmup: Optional[float],
+) -> float:
+    """Shared run_mix argument validation; returns the resolved warmup."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if warmup is None:
+        warmup = duration / 6.0
+    if not 0 <= warmup < duration:
+        raise ValueError(
+            f"warmup must lie in [0, duration), got warmup={warmup} "
+            f"with duration={duration}"
+        )
+    return warmup
+
+
+def _vec_trial_points(
+    link: LinkConfig,
+    mix: Sequence[Tuple[str, int]],
+    duration: float,
+    warmup: float,
+    trials: int,
+    seed: int,
+    rtts: Optional[Dict[str, float]],
+    loss_mode: str,
+) -> List[BatchPoint]:
+    """One :class:`BatchPoint` per trial, seeded exactly like the
+    sequential trial loop (trial ``t`` runs with ``seed + t``)."""
+    flows = tuple(
+        FluidSpec(cc=cc, rtt=rtt) for cc, rtt in expand_mix(mix, rtts)
+    )
+    return [
+        BatchPoint(
+            link=link,
+            flows=flows,
+            duration=duration,
+            warmup=warmup,
+            loss_mode=loss_mode,
+            seed=seed + trial,
+            start_jitter=min(1.0, duration / 30.0),
+        )
+        for trial in range(trials)
+    ]
+
+
+def _aggregate_trials(
+    mix: Sequence[Tuple[str, int]],
+    trial_results: Sequence[Any],
+) -> ScenarioResult:
+    """Average per-trial simulation results into a ScenarioResult."""
     per_flow_samples: Dict[str, List[float]] = {}
     aggregate_samples: Dict[str, List[float]] = {}
     loss_samples: Dict[str, List[float]] = {}
     retx_samples: Dict[str, List[float]] = {}
     delay_samples: List[float] = []
     drop_samples: List[float] = []
-    for trial in range(trials):
-        result = _run_once(
-            link,
-            mix,
-            duration,
-            warmup,
-            backend,
-            seed + trial,
-            rtts,
-            loss_mode,
-            obs,
-        )
+    for result in trial_results:
         delay_samples.append(result.mean_queuing_delay)
         drop_samples.append(result.drop_rate)
         for cc, _count in mix:
@@ -231,7 +428,8 @@ def _run_once(
             link, specs, duration=duration, warmup=warmup, obs=obs
         )
     fluid_specs = [FluidSpec(cc=cc, rtt=rtt) for cc, rtt in flows]
-    return run_fluid(
+    run = run_fluid_vec if backend == "fluid-vec" else run_fluid
+    return run(
         link,
         fluid_specs,
         duration=duration,

@@ -3,7 +3,9 @@
 A fast, tick-based companion to :mod:`repro.sim` used for the paper's
 large sweeps (50-flow Nash-equilibrium searches, distribution evolutions).
 See :mod:`repro.fluidsim.core` for the model and its relation to §2.4's
-synchronization bounds.
+synchronization bounds, and :mod:`repro.fluidsim.vec` for the
+vectorized (numpy array-of-flows, multi-point batched) substrate that
+reproduces the scalar trajectories bit for bit.
 """
 
 from repro.fluidsim.core import (
@@ -12,6 +14,12 @@ from repro.fluidsim.core import (
     FluidSpec,
     TickContext,
     run_fluid,
+)
+from repro.fluidsim.vec import (
+    BatchPoint,
+    VecFluidSim,
+    run_fluid_vec,
+    run_fluid_vec_batch,
 )
 from repro.fluidsim.flows import (
     FluidBBR,
@@ -32,6 +40,10 @@ __all__ = [
     "FluidSpec",
     "TickContext",
     "run_fluid",
+    "BatchPoint",
+    "VecFluidSim",
+    "run_fluid_vec",
+    "run_fluid_vec_batch",
     "FluidBBR",
     "FluidBBR2",
     "FluidCopa",

@@ -13,6 +13,12 @@ comes from the law modules — e.g. :class:`FluidCubic` evaluates
 against the packet simulator carry over structurally, not by
 convention.  The cross-substrate parity suite (``tests/test_parity.py``)
 enforces the resulting agreement end to end.
+
+Power functions (slow-start doubling, CUBIC's cube and cube root,
+Vivace's utility exponent) are evaluated through
+:mod:`repro.fluidsim.mathops` so this scalar path and the vectorized
+one (:mod:`repro.fluidsim.vec`) round identically and stay *bitwise*
+comparable; see that module for why.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.cc.laws.base import (
     MIN_CWND_SEGMENTS,
     CongestionEventGate,
 )
+from repro.fluidsim import mathops
 from repro.fluidsim.core import TickContext
 from repro.util.filters import WindowedMax, WindowedMin
 
@@ -148,16 +155,21 @@ class FluidCubic(FluidFlow):
     def tick(self, ctx: TickContext) -> None:
         self._last_rtt_measured = ctx.rtt_measured
         if self._in_slow_start:
-            self.inflight *= 2.0 ** (ctx.dt / ctx.rtt_measured)
+            self.inflight *= float(mathops.exp2(ctx.dt / ctx.rtt_measured))
             return
         now = ctx.now
         if self._epoch_start is None:
+            # cubic_laws.begin_epoch, with K through the shared kernel.
             self._epoch_start = now
-            self._w_max_pkts, self._k = cubic_laws.begin_epoch(
-                self.inflight / self.mss, self._w_max_pkts
-            )
+            cwnd_segments = self.inflight / self.mss
+            if self._w_max_pkts is None or self._w_max_pkts < cwnd_segments:
+                self._w_max_pkts, self._k = cwnd_segments, 0.0
+            else:
+                self._k = float(mathops.cubic_k(self._w_max_pkts))
         t = now - self._epoch_start
-        target_pkts = cubic_laws.window(t, self._k, self._w_max_pkts)
+        target_pkts = float(
+            mathops.cubic_window(t, self._k, self._w_max_pkts)
+        )
         target = max(target_pkts * self.mss, self.min_inflight)
         # The window is ack-clocked: it cannot grow faster than one extra
         # packet per delivered packet (slow-start bound), with a floor of
@@ -174,7 +186,7 @@ class FluidCubic(FluidFlow):
         self._w_max_pkts = cubic_laws.reduce_w_max(
             self.inflight / self.mss, self._w_max_pkts, self.fast_convergence
         )
-        self._k = cubic_laws.k_from_w_max(self._w_max_pkts)
+        self._k = float(mathops.cubic_k(self._w_max_pkts))
         cut = max(
             self.inflight * cubic_laws.BETA_CUBIC, self.min_inflight
         )
@@ -210,7 +222,7 @@ class FluidReno(FluidFlow):
     def tick(self, ctx: TickContext) -> None:
         self._last_rtt_measured = ctx.rtt_measured
         if self._in_slow_start:
-            self.inflight *= 2.0 ** (ctx.dt / ctx.rtt_measured)
+            self.inflight *= float(mathops.exp2(ctx.dt / ctx.rtt_measured))
         else:
             self.inflight += self.mss * ctx.dt / ctx.rtt_measured
 
@@ -485,7 +497,9 @@ class FluidVegas(FluidFlow):
                 self._in_slow_start = False
             else:
                 # Doubling every other RTT averages to ×2 per 2 RTTs.
-                self.inflight *= 2.0 ** (ctx.dt / (2 * ctx.rtt_measured))
+                self.inflight *= float(
+                    mathops.exp2(ctx.dt / (2 * ctx.rtt_measured))
+                )
                 return
         if diff < vegas_laws.ALPHA_PACKETS:
             self.inflight += per_rtt
@@ -634,8 +648,14 @@ class FluidVivace(FluidFlow):
         self, rate: float, rtt_gradient: float, loss_rate: float
     ) -> float:
         """Vivace utility, rate in bytes/s scored in Mbps (NSDI'18 form)."""
-        return vivace_laws.utility(
-            rate, rtt_gradient, loss_rate, self.latency_coeff, self.loss_coeff
+        return float(
+            mathops.vivace_utility(
+                rate,
+                rtt_gradient,
+                loss_rate,
+                self.latency_coeff,
+                self.loss_coeff,
+            )
         )
 
     def _probe_rate(self) -> float:
@@ -670,13 +690,15 @@ class FluidVivace(FluidFlow):
         elapsed = max(now - self._mi_start, 1e-6)
         rtt_gradient = (self._last_qd - self._mi_qd_start) / elapsed
         self._pair.append(
-            vivace_laws.score_interval(
-                elapsed,
-                self._mi_delivered,
-                self._mi_lost,
-                rtt_gradient,
-                self.latency_coeff,
-                self.loss_coeff,
+            float(
+                mathops.vivace_score(
+                    elapsed,
+                    self._mi_delivered,
+                    self._mi_lost,
+                    rtt_gradient,
+                    self.latency_coeff,
+                    self.loss_coeff,
+                )
             )
         )
         if self._mi_phase == 0:

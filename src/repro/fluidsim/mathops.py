@@ -1,0 +1,96 @@
+"""Shared transcendental kernels for the two fluid substrates.
+
+The vectorized substrate (:mod:`repro.fluidsim.vec`) evaluates control
+laws with numpy ufuncs, and numpy's ``power``/``exp2`` are *not*
+bit-identical to CPython's ``**`` (their SIMD kernels round a few ulp
+differently on a small fraction of inputs).  Sums, products, ratios,
+mins and maxes are exact either way — only the power functions differ —
+so both fluid adapters route every power through the helpers below.
+numpy ufuncs are elementwise position-independent (a scalar call and an
+array call produce the same bits), which is what makes the scalar and
+vectorized fluid paths agree *bitwise*, tick for tick, rather than
+merely within a tolerance.
+
+The packet substrate keeps the pure-Python law functions: its numbers
+are per-ACK and never compared bitwise against the fluid model.
+
+This module is also the project's numpy import choke point for the
+fluid substrates: a missing numpy fails here with an actionable
+message instead of a bare ``ModuleNotFoundError`` deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    raise ImportError(
+        "the fluid simulator requires numpy>=1.24, which is a declared "
+        "dependency of this package; install it with `pip install -e .` "
+        "(or `pip install numpy`)"
+    ) from exc
+
+from repro.cc.laws import cubic as cubic_laws
+from repro.cc.laws import vivace as vivace_laws
+
+__all__ = [
+    "np",
+    "exp2",
+    "cubic_k",
+    "cubic_window",
+    "vivace_utility",
+    "vivace_score",
+]
+
+
+def exp2(x):
+    """``2**x`` via numpy (slow-start doubling factors)."""
+    return np.exp2(x)
+
+
+def cubic_k(w_max):
+    """CUBIC's ``K = cbrt(W_max (1 − β) / C)``, numpy-rounded.
+
+    ``np.power`` explicitly — a Python ``**`` would dispatch to
+    CPython's pow for float inputs (the scalar adapter's case) and to
+    numpy's for arrays, and the two round differently often enough to
+    break scalar↔vec bit parity.
+    """
+    return np.power(
+        w_max * (1.0 - cubic_laws.BETA_CUBIC) / cubic_laws.C_CUBIC,
+        1.0 / 3.0,
+    )
+
+
+def cubic_window(t, k, w_max):
+    """CUBIC Equation (1) target window in segments, numpy-rounded."""
+    return cubic_laws.C_CUBIC * np.power(t - k, 3.0) + w_max
+
+
+def vivace_utility(rate, rtt_gradient, loss_rate, latency_coeff, loss_coeff):
+    """Vivace's utility (rate in bytes/s, scored in Mbps), numpy pow."""
+    x_mbps = rate * 8.0 / 1e6
+    with np.errstate(all="ignore"):
+        value = (
+            np.power(x_mbps, vivace_laws.THROUGHPUT_EXPONENT)
+            - latency_coeff * x_mbps * np.maximum(0.0, rtt_gradient)
+            - loss_coeff * x_mbps * loss_rate
+        )
+    return np.where(x_mbps <= 0, 0.0, value)
+
+
+def vivace_score(
+    elapsed, delivered_bytes, lost_bytes, rtt_gradient, latency_coeff,
+    loss_coeff,
+):
+    """Utility of one finished monitor interval (numpy-rounded pow)."""
+    delivered_bytes = np.asarray(delivered_bytes, dtype=np.float64)
+    lost_bytes = np.asarray(lost_bytes, dtype=np.float64)
+    elapsed = np.maximum(np.asarray(elapsed, dtype=np.float64), 1e-6)
+    achieved = delivered_bytes / elapsed
+    total = delivered_bytes + lost_bytes
+    with np.errstate(all="ignore"):
+        loss = np.where(total > 0, lost_bytes / total, 0.0)
+    return vivace_utility(
+        achieved, rtt_gradient, loss, latency_coeff, loss_coeff
+    )

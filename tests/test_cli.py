@@ -517,8 +517,9 @@ def test_cc_list_renders_canonical_table(capsys):
     for name, spec in ALGORITHMS.items():
         assert name in out
         assert spec.summary in out
-    # Every algorithm runs on both substrates, and the listing says so.
-    assert out.count("[packet+fluid]") == len(ALGORITHMS)
+    # Every algorithm runs on all three substrates, and the listing
+    # says so (packet, scalar fluid, and the vectorized fluid kernel).
+    assert out.count("[packet+fluid+fluid-vec]") == len(ALGORITHMS)
     # Law parameters come from the kernel modules.
     assert "C_CUBIC=0.4" in out
     assert "GAIN_CYCLE=(1.25, 0.75," in out

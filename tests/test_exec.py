@@ -557,3 +557,76 @@ def test_persistent_pool_reused_across_batches():
         engine.run_points(points(2, duration=5.0))
         assert engine._executor is first_pool
     assert engine._executor is None
+
+
+# -- chunked dispatch --------------------------------------------------------
+
+
+def vec_points(n=5, duration=6.0):
+    return [
+        ScenarioPoint(
+            link=link(bdp=1 + i),
+            mix=(("cubic", 2), ("bbr", 2)),
+            duration=duration,
+            backend="fluid-vec",
+        )
+        for i in range(n)
+    ]
+
+
+def test_dispatch_units_group_cheap_points():
+    engine = Engine(jobs=2)
+    pending = {p.fingerprint(): p for p in points(5)}
+    units = engine._dispatch_units(pending)
+    assert sorted(len(unit) for unit in units) == [2, 3]
+    assert {fp for unit in units for fp in unit} == set(pending)
+
+
+def test_dispatch_units_keep_expensive_points_solo():
+    expensive = ScenarioPoint(
+        link=link(),
+        mix=(("cubic", 25), ("bbr", 25)),
+        duration=120.0,
+        trials=10,
+    )
+    pending = {expensive.fingerprint(): expensive}
+    for point in points(4):
+        pending[point.fingerprint()] = point
+    units = Engine(jobs=2)._dispatch_units(pending)
+    assert [expensive.fingerprint()] in units
+    assert sorted(len(unit) for unit in units) == [1, 2, 2]
+
+
+def test_dispatch_units_chunking_off_or_profiling_means_solo():
+    pending = {p.fingerprint(): p for p in points(5)}
+    for engine in (
+        Engine(jobs=2, chunking=False),
+        Engine(jobs=2, profile_slowest=2),
+    ):
+        units = engine._dispatch_units(pending)
+        assert all(len(unit) == 1 for unit in units)
+        assert len(units) == 5
+
+
+def test_chunked_inline_vec_pooling_matches_unchunked():
+    engine = Engine(jobs=1)
+    results = engine.run_points(vec_points())
+    baseline = Engine(jobs=1, chunking=False).run_points(vec_points())
+    assert results == baseline
+    assert engine.done == engine.submitted == 5
+    assert engine.simulated == 5
+
+
+def test_chunked_parallel_matches_sequential():
+    baseline = Engine(jobs=1, chunking=False).run_points(vec_points())
+    with Engine(jobs=2) as engine:
+        assert engine.run_points(vec_points()) == baseline
+
+
+def test_chunked_batch_shares_duplicate_executions():
+    pts = vec_points(3) + vec_points(3)
+    engine = Engine(jobs=1)
+    results = engine.run_points(pts)
+    assert results[:3] == results[3:]
+    assert engine.simulated == 3
+    assert engine.done == 6
