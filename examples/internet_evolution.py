@@ -1,61 +1,84 @@
 #!/usr/bin/env python3
-"""Internet evolution: best-response dynamics toward the Nash Equilibrium.
+"""Internet evolution: adoption dynamics toward the Nash Equilibrium.
 
 The paper's motivating story (§1): websites keep switching to whichever
-congestion control gives them more throughput.  This example simulates
-that process year by year — starting from today's mostly-CUBIC Internet,
-each "year" one website switches CCA if doing so raises its throughput —
-and shows the population converging to the mixed NE instead of going
+congestion control gives them more throughput.  This example evolves
+that process with ``repro.population`` — a heterogeneous internet of
+RTT classes, each a cell of flows repeatedly choosing between CUBIC and
+BBR under replicator dynamics, payoffs served by the tiered oracle
+(closed-form model where trusted, fluid simulation where not) — and
+shows the population converging to the mixed NE instead of going
 all-BBR.
 
 Run:  python examples/internet_evolution.py
 """
 
 from repro import LinkConfig, predict_nash
-from repro.core.game import ThroughputTable
-from repro.experiments.runner import distribution_throughput_fn
+from repro.population import (
+    CellSpec,
+    DynamicsConfig,
+    TieredOracle,
+    run_population,
+)
 
 
-def evolve(link: LinkConfig, n_flows: int, duration: float = 120.0) -> None:
-    print(f"bottleneck: {link.describe()}, {n_flows} websites\n")
-
-    # Measure the whole game once with the fluid simulator.
-    fn = distribution_throughput_fn(
-        link, n_flows, duration=duration, backend="fluid", seed=42
-    )
-    print("measuring all distributions (fluid simulator)...")
-    table = ThroughputTable.from_function(n_flows, fn)
-
-    # Start from a CUBIC-dominant Internet: 1 early adopter runs BBR.
-    print("\n year  #BBR  per-flow BBR  per-flow CUBIC   event")
-    path = table.best_response_path(1)
-    for year, k in enumerate(path):
-        bbr = table.lambda_b[k] * 8 / 1e6
-        cubic = table.lambda_a[k] * 8 / 1e6
-        if year == 0:
-            event = "first adopter switches to BBR"
-        elif k > path[year - 1]:
-            event = "a CUBIC website switches to BBR"
-        elif k < path[year - 1]:
-            event = "a BBR website switches back to CUBIC"
-        else:
-            event = "stable"
-        print(
-            f"  {year:3d}  {k:4d}  {bbr:10.2f}    {cubic:10.2f}      "
-            f"{event}"
+def evolve(n_flows: int = 100, ticks: int = 60) -> None:
+    # A small heterogeneous internet: three RTT classes share the same
+    # bottleneck class (100 Mbps, 5 BDP of buffer).
+    cells = [
+        CellSpec(
+            link=LinkConfig.from_mbps_ms(100, rtt, buffer_bdp=5),
+            n_flows=n_flows,
+            label=f"rtt{rtt}ms",
         )
+        for rtt in (20, 40, 80)
+    ]
+    total = sum(cell.n_flows for cell in cells)
+    print(f"the internet: {len(cells)} RTT classes, {total} websites")
+    for cell in cells:
+        print(f"  {cell.describe()}")
 
-    final = path[-1]
-    print(f"\nconverged: {final} BBR / {n_flows - final} CUBIC flows")
-    equilibria = table.nash_equilibria(
-        tolerance=0.02 * link.capacity / n_flows
+    # Start from a CUBIC-dominant internet: 10% early BBR adopters.
+    # Each tick, flows drift toward whichever CCA pays more (replicator
+    # dynamics); the tiered oracle answers with the paper's closed-form
+    # model, calibrated per region against the fluid substrate.
+    print("\nevolving (replicator dynamics, tiered payoff oracle)...")
+    result = run_population(
+        cells,
+        dynamics=DynamicsConfig(name="replicator", step=0.5),
+        ticks=ticks,
+        seed=42,
+        init_share=0.1,
+        oracle=TieredOracle(duration=30.0, seed=42),
     )
-    print(f"empirical NE set (±2% tolerance): {equilibria}")
 
-    ne = predict_nash(link, n_flows)
-    lo, hi = sorted((ne.n_bbr_sync, ne.n_bbr_desync))
-    print(f"model-predicted NE: {lo:.1f}-{hi:.1f} BBR flows")
-    if final < n_flows:
+    print("\n tick  " + "  ".join(f"{c.label:>9}" for c in cells))
+    for entry in result.trajectory[:: max(1, ticks // 12)]:
+        shares = "  ".join(
+            f"{row[-1]:9.3f}" for row in entry["shares"]
+        )
+        print(f"  {entry['tick']:3d}  {shares}")
+
+    print("\nfinal BBR share per class (vs model NE, Eq. 25):")
+    for i, cell in enumerate(cells):
+        ne = predict_nash(cell.link, cell.n_flows)
+        print(
+            f"  {cell.label}: {result.final_shares[i][-1]:.3f} "
+            f"(predicted {ne.n_bbr_sync / cell.n_flows:.3f}-"
+            f"{ne.n_bbr_desync / cell.n_flows:.3f})"
+        )
+    final = result.final_share("bbr")
+    stats = result.oracle
+    print(
+        f"\noverall BBR share: {final:.3f}  "
+        + ("(converged)" if result.converged else "(still moving)")
+    )
+    print(
+        f"oracle: {stats['queries']} payoff queries, "
+        f"tier0 {stats['tier0']} / tier1 {stats['tier1']}, "
+        f"{stats['sim_points']} simulation points"
+    )
+    if final < 0.99:
         print(
             "\n→ BBR did NOT take over: past the equilibrium, switching "
             "to BBR costs throughput."
@@ -63,8 +86,7 @@ def evolve(link: LinkConfig, n_flows: int, duration: float = 120.0) -> None:
 
 
 def main() -> None:
-    link = LinkConfig.from_mbps_ms(100, 40, buffer_bdp=5)
-    evolve(link, n_flows=12)
+    evolve()
 
 
 if __name__ == "__main__":

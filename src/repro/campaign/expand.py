@@ -61,6 +61,14 @@ class Unit:
     incumbent: str = ""
     search: int = 0
     seed_stride: int = 0
+    # Population-only fields.
+    dynamics: str = ""
+    ticks: int = 0
+    epsilon: float = 0.0
+    mutation: float = 0.0
+    inertia: float = 0.0
+    init_share: float = 0.0
+    error_threshold: float = 0.0
 
     def combo_dict(self) -> Dict[str, Any]:
         """The swept values this unit was expanded from (CSV columns)."""
@@ -84,6 +92,17 @@ class Unit:
         }
         if self.kind == "sweep":
             params["mix"] = [list(entry) for entry in self.mix or ()]
+        elif self.kind == "population":
+            params["flows"] = self.flows
+            params["challenger"] = self.challenger
+            params["incumbent"] = self.incumbent
+            params["dynamics"] = self.dynamics
+            params["ticks"] = self.ticks
+            params["epsilon"] = self.epsilon
+            params["mutation"] = self.mutation
+            params["inertia"] = self.inertia
+            params["init_share"] = self.init_share
+            params["error_threshold"] = self.error_threshold
         else:
             params["flows"] = self.flows
             params["challenger"] = self.challenger
@@ -194,6 +213,32 @@ def expand_units(spec: CampaignSpec) -> List[Unit]:
                         seed=seed,
                         loss_mode=loss_mode,
                         mix=resolved.get("mix", spec.mix),
+                    )
+                )
+                index += 1
+            elif stage.kind == "population":
+                units.append(
+                    Unit(
+                        index=index,
+                        stage=stage.name,
+                        kind=stage.kind,
+                        combo=combo,
+                        link=link,
+                        duration=duration,
+                        backend=backend,
+                        trials=trials,
+                        seed=seed,
+                        loss_mode=loss_mode,
+                        flows=stage.flows,
+                        challenger=stage.challenger,
+                        incumbent=stage.incumbent,
+                        dynamics=resolved.get("dynamics", stage.dynamics),
+                        ticks=stage.ticks,
+                        epsilon=resolved.get("epsilon", stage.epsilon),
+                        mutation=stage.mutation,
+                        inertia=stage.inertia,
+                        init_share=stage.init_share,
+                        error_threshold=stage.error_threshold,
                     )
                 )
                 index += 1

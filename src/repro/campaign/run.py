@@ -10,8 +10,11 @@
 Execution streams through :meth:`repro.exec.Engine.iter_points` for
 ``sweep`` stages (parallel fan-out, content-addressed cache) and runs
 ``adaptive`` units — empirical-NE bisections reusing the figure-9
-best-response machinery — sequentially, each bisection's scenario
-points themselves engine-routed and cached.  Every finished unit is
+best-response machinery — and ``population`` units — seeded adoption
+trajectories through :func:`repro.population.run_population`, each
+unit's tier-0/tier-1 payoff lookups engine-routed and cached, its
+calibration error map merged into ``<out>/error_map.json``.  Every
+finished unit is
 journaled durably before the next is started, so a killed campaign
 resumed with ``repro-bbr campaign resume`` replays the journal, submits
 only the missing units, and (because in-flight results were already in
@@ -76,7 +79,12 @@ def _span(tracer: Any, name: str, **args: Any):
 
 SPEC_NAME = "spec.json"
 MANIFEST_NAME = "manifest.json"
+ERROR_MAP_NAME = "error_map.json"
 SPEC_FILE_SCHEMA = 1
+
+#: Serializes read-modify-write merges of the campaign error-map
+#: artifact when population units fan out on threads.
+_ERROR_MAP_LOCK = Lock()
 
 
 class CampaignError(RuntimeError):
@@ -183,6 +191,73 @@ def _run_adaptive(
     return tuple(rows), perf_counter() - start
 
 
+def _run_population(
+    unit: Unit, engine: Engine
+) -> Tuple[Tuple[Dict[str, Any], ...], float, Any]:
+    """One adoption trajectory: a single CSV row plus the error map.
+
+    The unit's link and flow count define a one-cell population; the
+    trajectory is fully determined by the unit's resolved parameters
+    (the oracle consumes no trajectory randomness), so journal replay
+    and re-execution produce identical rows.
+    """
+    from repro.population import (
+        CellSpec,
+        DynamicsConfig,
+        TieredOracle,
+        run_population,
+    )
+
+    start = perf_counter()
+    cell = CellSpec(link=unit.link, n_flows=unit.flows, label=unit.stage)
+    oracle = TieredOracle(
+        engine=engine,
+        error_threshold=unit.error_threshold,
+        duration=unit.duration,
+        trials=unit.trials,
+        seed=unit.seed,
+    )
+    result = run_population(
+        [cell],
+        dynamics=DynamicsConfig(
+            name=unit.dynamics,
+            epsilon=unit.epsilon,
+            mutation=unit.mutation,
+            inertia=unit.inertia,
+        ),
+        ticks=unit.ticks,
+        seed=unit.seed,
+        strategies=(unit.incumbent, unit.challenger),
+        init_share=unit.init_share,
+        oracle=oracle,
+    )
+    ne = result.ne[0]
+    row = unit.combo_dict()
+    row.setdefault("dynamics", unit.dynamics)
+    row["flows"] = unit.flows
+    row["challenger"] = unit.challenger
+    row["final_challenger_share"] = result.final_share(unit.challenger)
+    row["model_share_sync"] = ne["share_sync"] if ne else ""
+    row["model_share_desync"] = ne["share_desync"] if ne else ""
+    row["converged"] = result.converged
+    row["oracle_tier0"] = result.oracle["tier0"]
+    row["oracle_tier1"] = result.oracle["tier1"]
+    row["max_rel_error"] = result.error_map.max_rel_error()
+    return (row,), perf_counter() - start, result.error_map
+
+
+def _merge_error_map(path: Path, error_map: Any) -> None:
+    """Fold one unit's calibration entries into the campaign artifact."""
+    if not error_map.entries:
+        return
+    from repro.population import ErrorMap
+
+    with _ERROR_MAP_LOCK:
+        merged = ErrorMap.load(str(path)) if path.exists() else ErrorMap()
+        merged.merge(error_map)
+        merged.save(str(path))
+
+
 # -- execution ---------------------------------------------------------------
 
 
@@ -193,6 +268,7 @@ def execute_units(
     completed: Optional[Dict[str, JournalRecord]] = None,
     on_unit: Optional[Callable[[UnitOutcome], None]] = None,
     stop_after: Optional[int] = None,
+    artifacts_dir: Optional[Union[str, Path]] = None,
 ) -> Tuple[List[UnitOutcome], bool]:
     """Resolve every unit, replaying ``completed`` journal records.
 
@@ -204,10 +280,14 @@ def execute_units(
     whether the run stopped early.  Outcomes are returned in unit
     order regardless of completion order.
 
-    Adaptive stages run their units concurrently (threads feeding the
-    engine's shared worker pool) when ``engine.jobs > 1`` — except under
-    ``stop_after``, whose exactly-N contract requires sequential
-    execution.  ``on_unit`` is serialized under a lock either way.
+    Adaptive and population stages run their units concurrently
+    (threads feeding the engine's shared worker pool) when
+    ``engine.jobs > 1`` — except under ``stop_after``, whose exactly-N
+    contract requires sequential execution.  ``on_unit`` is serialized
+    under a lock either way.  ``artifacts_dir``, when given, receives
+    the merged population error map (``error_map.json``), folded in as
+    each population unit finishes — before its journal record — so an
+    interrupted campaign keeps the calibrations it already paid for.
     """
     eng = resolve_engine(engine)
     tracer = resolve_tracer(None)
@@ -261,6 +341,22 @@ def execute_units(
             from_journal=False,
         )
 
+    artifacts = Path(artifacts_dir) if artifacts_dir is not None else None
+
+    def population_outcome(unit: Unit) -> UnitOutcome:
+        with _span(tracer, "unit", unit=unit.unit_id()):
+            rows, wall, error_map = _run_population(unit, eng)
+        if artifacts is not None:
+            _merge_error_map(artifacts / ERROR_MAP_NAME, error_map)
+        return UnitOutcome(
+            unit_id=unit.unit_id(),
+            index=unit.index,
+            stage=unit.stage,
+            rows=rows,
+            wall_s=wall,
+            from_journal=False,
+        )
+
     for stage in spec.stages:
         if interrupted:
             break
@@ -290,9 +386,15 @@ def execute_units(
                     if not record(outcome):
                         break
                 continue
-            # Adaptive units: independent searches.  Fan out on threads
-            # (each bisection's points go to the engine's shared pool)
-            # unless stop_after demands deterministic sequencing.
+            # Adaptive and population units: independent computations.
+            # Fan out on threads (their scenario points go to the
+            # engine's shared pool) unless stop_after demands
+            # deterministic sequencing.
+            runner = (
+                population_outcome
+                if stage.kind == "population"
+                else adaptive_outcome
+            )
             threads = (
                 1
                 if stop_after is not None
@@ -300,12 +402,12 @@ def execute_units(
             )
             if threads <= 1:
                 for unit in stage_units:
-                    if not record(adaptive_outcome(unit)):
+                    if not record(runner(unit)):
                         break
             else:
                 with ThreadPoolExecutor(max_workers=threads) as pool:
                     futures = [
-                        pool.submit(adaptive_outcome, unit)
+                        pool.submit(runner, unit)
                         for unit in stage_units
                     ]
                     for future in as_completed(futures):
@@ -502,6 +604,7 @@ def run_campaign(
                 completed=completed,
                 on_unit=journal_unit,
                 stop_after=stop_after,
+                artifacts_dir=out,
             )
     finally:
         if restore_heartbeat:

@@ -50,17 +50,22 @@ class SpecError(ValueError):
     """A campaign spec failed validation; the message is one line."""
 
 
-#: Axes that sweep a float-valued scenario parameter.
-FLOAT_AXES = ("bandwidth_mbps", "rtt_ms", "buffer_bdp", "duration")
+#: Axes that sweep a float-valued scenario parameter.  ``epsilon`` is
+#: the population-stage switching probability (noisy-choice dynamics).
+FLOAT_AXES = ("bandwidth_mbps", "rtt_ms", "buffer_bdp", "duration", "epsilon")
 #: Axes that sweep an int-valued scenario parameter.
 INT_AXES = ("seed", "trials")
-#: Axes that sweep a string-valued scenario parameter.
-STR_AXES = ("backend", "loss_mode")
+#: Axes that sweep a string-valued scenario parameter.  ``dynamics``
+#: selects the population-stage update rule.
+STR_AXES = ("backend", "loss_mode", "dynamics")
 #: Every sweepable axis name (``mix`` sweeps the flow mix itself).
 AXIS_NAMES = FLOAT_AXES + INT_AXES + STR_AXES + ("mix",)
 
+#: Axes that only population stages consume.
+POPULATION_AXES = ("epsilon", "dynamics")
+
 EXPAND_MODES = ("grid", "zip")
-STAGE_KINDS = ("sweep", "adaptive")
+STAGE_KINDS = ("sweep", "adaptive", "population")
 
 #: Derived metrics that take no CCA argument.
 SCALAR_METRICS = ("queuing_delay_ms", "drop_rate")
@@ -198,7 +203,10 @@ class Stage:
     ``sweep`` runs each combination as one scenario point; ``adaptive``
     bisects the incumbent/challenger split for the empirical NE at each
     combination (``searches`` independent repetitions, seed-offset by
-    ``seed_stride`` — the spacing the figure-9 sweep has always used).
+    ``seed_stride`` — the spacing the figure-9 sweep has always used);
+    ``population`` evolves a :mod:`repro.population` adoption
+    trajectory per combination (``ticks`` steps of ``dynamics``, with
+    the tiered payoff oracle calibrated at ``error_threshold``).
     """
 
     name: str
@@ -208,10 +216,32 @@ class Stage:
     incumbent: str = "cubic"
     searches: int = 1
     seed_stride: int = 7919
+    dynamics: str = "replicator"
+    ticks: int = 60
+    epsilon: float = 0.2
+    mutation: float = 0.0
+    inertia: float = 0.5
+    init_share: float = 0.1
+    error_threshold: float = 0.1
 
     def to_dict(self) -> Dict[str, Any]:
         if self.kind == "sweep":
             return {"name": self.name, "type": self.kind}
+        if self.kind == "population":
+            return {
+                "name": self.name,
+                "type": self.kind,
+                "flows": self.flows,
+                "challenger": self.challenger,
+                "incumbent": self.incumbent,
+                "dynamics": self.dynamics,
+                "ticks": self.ticks,
+                "epsilon": self.epsilon,
+                "mutation": self.mutation,
+                "inertia": self.inertia,
+                "init_share": self.init_share,
+                "error_threshold": self.error_threshold,
+            }
         return {
             "name": self.name,
             "type": self.kind,
@@ -330,6 +360,17 @@ def _check_backend(backend: str, where: str) -> str:
     return backend
 
 
+def _check_dynamics(name: str, where: str) -> str:
+    from repro.population.dynamics import DYNAMICS
+
+    if name not in DYNAMICS:
+        raise SpecError(
+            f"{where}: dynamics must be one of {', '.join(DYNAMICS)}, "
+            f"got {name!r}"
+        )
+    return name
+
+
 def _parse_axis(entry: Any, index: int, source: str) -> Axis:
     where = f"{source}: axes[{index}]"
     if not isinstance(entry, dict):
@@ -369,6 +410,8 @@ def _parse_axis(entry: Any, index: int, source: str) -> Axis:
                 raise SpecError(f"{vwhere}: expected a string, got {value!r}")
             if name == "backend":
                 _check_backend(value, vwhere)
+            if name == "dynamics":
+                _check_dynamics(value, vwhere)
             parsed.append(value)
     return Axis(name=name, values=tuple(parsed))
 
@@ -389,7 +432,7 @@ def _parse_stage(entry: Any, index: int, source: str) -> Stage:
     flows = _get_int(entry, "flows", 0, where)
     if flows < 2:
         raise SpecError(
-            f"{where}.flows: adaptive stages need flows >= 2, got {flows}"
+            f"{where}.flows: {kind} stages need flows >= 2, got {flows}"
         )
     challenger = _check_cca(
         _get_str(entry, "challenger", "bbr", where), f"{where}.challenger"
@@ -400,6 +443,54 @@ def _parse_stage(entry: Any, index: int, source: str) -> Stage:
     if challenger == incumbent:
         raise SpecError(
             f"{where}: challenger and incumbent are both {challenger!r}"
+        )
+    if kind == "population":
+        dynamics = _check_dynamics(
+            _get_str(entry, "dynamics", "replicator", where),
+            f"{where}.dynamics",
+        )
+        ticks = _get_int(entry, "ticks", 60, where)
+        if ticks < 1:
+            raise SpecError(f"{where}.ticks: must be >= 1, got {ticks}")
+        epsilon = _get_number(entry, "epsilon", 0.2, where)
+        if not 0.0 < epsilon <= 1.0:
+            raise SpecError(
+                f"{where}.epsilon: must be in (0, 1], got {epsilon}"
+            )
+        mutation = _get_number(entry, "mutation", 0.0, where)
+        if not 0.0 <= mutation < 1.0:
+            raise SpecError(
+                f"{where}.mutation: must be in [0, 1), got {mutation}"
+            )
+        inertia = _get_number(entry, "inertia", 0.5, where)
+        if not 0.0 <= inertia < 1.0:
+            raise SpecError(
+                f"{where}.inertia: must be in [0, 1), got {inertia}"
+            )
+        init_share = _get_number(entry, "init_share", 0.1, where)
+        if not 0.0 <= init_share <= 1.0:
+            raise SpecError(
+                f"{where}.init_share: must be in [0, 1], got {init_share}"
+            )
+        error_threshold = _get_number(entry, "error_threshold", 0.1, where)
+        if error_threshold <= 0:
+            raise SpecError(
+                f"{where}.error_threshold: must be positive, "
+                f"got {error_threshold}"
+            )
+        return Stage(
+            name=name,
+            kind=kind,
+            flows=flows,
+            challenger=challenger,
+            incumbent=incumbent,
+            dynamics=dynamics,
+            ticks=ticks,
+            epsilon=epsilon,
+            mutation=mutation,
+            inertia=inertia,
+            init_share=init_share,
+            error_threshold=error_threshold,
         )
     searches = _get_int(entry, "searches", 1, where)
     if searches < 1:
@@ -550,16 +641,26 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
 
     has_sweep = any(stage.kind == "sweep" for stage in stages)
     has_adaptive = any(stage.kind == "adaptive" for stage in stages)
+    has_population = any(stage.kind == "population" for stage in stages)
     if has_sweep and mix is None and "mix" not in seen_axes:
         raise SpecError(
             f"{source}: sweep stages need a flow mix — set "
             "[defaults] mix or declare a mix axis"
         )
-    if has_adaptive and "mix" in seen_axes:
+    if (has_adaptive or has_population) and "mix" in seen_axes:
+        kind = "adaptive" if has_adaptive else "population"
         raise SpecError(
-            f"{source}: adaptive stages search the mix split themselves; "
+            f"{source}: {kind} stages derive the mix split themselves; "
             "remove the mix axis or use a sweep stage"
         )
+    if not has_population:
+        swept_population = seen_axes & set(POPULATION_AXES)
+        if swept_population:
+            raise SpecError(
+                f"{source}: axis "
+                f"{', '.join(sorted(swept_population))!s} only applies "
+                "to population stages — add one or drop the axis"
+            )
 
     raw_metrics = data.get("metrics", {})
     if isinstance(raw_metrics, dict):

@@ -391,6 +391,61 @@ class Checker:
                 time=float(now[p]),
             )
 
+    # -- population dynamics (repro.population) -------------------------
+
+    def population_state(self, tick: int, shares: Any) -> None:
+        """Simplex validity of a population share matrix.
+
+        ``shares`` is the ``(n_cells, n_strategies)`` array evolved by
+        :mod:`repro.population`: every row must be finite,
+        non-negative, and sum to 1.  ``tick`` is reported as the
+        violation time.
+        """
+        import numpy as np
+
+        shares = np.asarray(shares, dtype=np.float64)
+        self.checks_run += int(shares.shape[0])
+        if not np.isfinite(shares).all():
+            row = int(np.argmax(~np.isfinite(shares).all(axis=1)))
+            self.fail(
+                "population.finite",
+                f"cell {row} shares {shares[row].tolist()} are not "
+                "finite",
+                time=float(tick),
+            )
+        if (shares < -1e-9).any():
+            row = int(np.argmax((shares < -1e-9).any(axis=1)))
+            self.fail(
+                "population.simplex",
+                f"cell {row} shares {shares[row].tolist()} contain "
+                "negative entries",
+                time=float(tick),
+            )
+        sums = shares.sum(axis=1)
+        if np.abs(sums - 1.0).max() > 1e-6:
+            row = int(np.argmax(np.abs(sums - 1.0)))
+            self.fail(
+                "population.simplex",
+                f"cell {row} shares sum to {float(sums[row])!r}, "
+                "not 1",
+                time=float(tick),
+            )
+
+    def population_oracle(
+        self, tick: int, *, queries: int, tier0: int, tier1: int
+    ) -> None:
+        """Tier accounting for the population payoff oracle: every
+        query must resolve at exactly one tier."""
+        self.checks_run += 1
+        if min(queries, tier0, tier1) < 0 or tier0 + tier1 != queries:
+            self.fail(
+                "population.oracle_accounting",
+                f"oracle answered tier0={tier0} + tier1={tier1} of "
+                f"{queries} queries: every query must resolve at "
+                "exactly one tier",
+                time=float(tick),
+            )
+
 
 # -- process-wide default (mirrors repro.obs.bus) --------------------------
 

@@ -8,6 +8,8 @@ Subcommands:
 * ``figure``   — regenerate a paper figure (fig1 … fig12) and render it.
 * ``validate`` — score the model vs Ware et al. against a simulator sweep.
 * ``evolve``   — play the CCA-selection game via best-response dynamics.
+* ``population`` — evolve internet-scale CCA adoption dynamics under a
+  tiered payoff oracle (``run``, ``plot``; see docs/POPULATION.md).
 * ``report``   — summarize a JSONL trace written with ``--trace-out``.
 * ``campaign`` — run/resume/inspect declarative scenario campaigns
   (``run``, ``resume``, ``status``, ``validate``; see docs/CAMPAIGNS.md).
@@ -650,6 +652,252 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- population subcommands --------------------------------------------------
+
+
+def _rtt_class_list(value: str) -> List[float]:
+    """Parse ``--rtt-classes`` comma lists like ``10,40,120``."""
+    try:
+        items = [float(v) for v in value.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated RTTs in ms, got {value!r}"
+        ) from None
+    if not items or any(v <= 0 for v in items):
+        raise argparse.ArgumentTypeError(
+            f"RTT classes must be positive, got {value!r}"
+        )
+    return items
+
+
+def _population_cells(args: argparse.Namespace):
+    """One cell per RTT class (or a single cell at the base link)."""
+    from repro.population import CellSpec
+
+    if args.rtt_classes:
+        return [
+            CellSpec(
+                link=LinkConfig.from_mbps_ms(
+                    args.mbps, rtt, args.buffer_bdp
+                ),
+                n_flows=args.flows,
+                label=f"rtt{rtt:g}ms",
+            )
+            for rtt in args.rtt_classes
+        ]
+    return [
+        CellSpec(link=_link_from(args), n_flows=args.flows, label="base")
+    ]
+
+
+def _write_population_out(out_dir: str, result) -> None:
+    """Persist one run: summary.json, trajectory.csv, error_map.json."""
+    import csv as csv_mod
+    import json
+    from pathlib import Path
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "summary.json").write_text(
+        json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+    result.error_map.save(str(out / "error_map.json"))
+    labels = result.cell_labels()
+    with open(
+        out / "trajectory.csv", "w", newline="", encoding="utf-8"
+    ) as handle:
+        writer = csv_mod.writer(handle)
+        writer.writerow(["tick", "cell", "strategy", "share", "payoff"])
+        for entry in result.trajectory:
+            for i, label in enumerate(labels):
+                for j, strategy in enumerate(result.strategies):
+                    writer.writerow(
+                        [
+                            entry["tick"],
+                            label,
+                            strategy,
+                            entry["shares"][i][j],
+                            entry["payoffs"][i][j],
+                        ]
+                    )
+        for i, label in enumerate(labels):
+            for j, strategy in enumerate(result.strategies):
+                writer.writerow(
+                    [
+                        result.ticks,
+                        label,
+                        strategy,
+                        result.final_shares[i][j],
+                        "",
+                    ]
+                )
+
+
+def _cmd_population_run(args: argparse.Namespace) -> int:
+    from repro.population import (
+        DynamicsConfig,
+        TieredOracle,
+        run_population,
+    )
+
+    tracer = _activate_tracing(args.spans_out)
+    _activate_profile_points(args)
+    cells = _population_cells(args)
+    engine = _engine_from(args)
+    force_tier = None if args.tier == "auto" else int(args.tier)
+    oracle = TieredOracle(
+        engine=engine,
+        error_threshold=args.error_threshold,
+        bound=args.bound,
+        duration=args.duration,
+        trials=args.trials,
+        seed=args.seed,
+        force_tier=force_tier,
+    )
+    config = DynamicsConfig(
+        name=args.dynamics,
+        step=args.step,
+        inertia=args.inertia,
+        epsilon=args.epsilon,
+        mutation=args.mutation,
+    )
+    progress = None
+    if args.progress:
+
+        def progress(done: int, total: int) -> None:
+            print(f"\rtick {done}/{total}", end="", file=sys.stderr)
+
+    total_flows = sum(cell.n_flows for cell in cells)
+    print(
+        f"population: {len(cells)} cell(s), {total_flows} flows, "
+        f"dynamics={config.name}, ticks={args.ticks}, seed={args.seed}"
+    )
+    result = run_population(
+        cells,
+        dynamics=config,
+        ticks=args.ticks,
+        seed=args.seed,
+        strategies=(args.incumbent, args.challenger),
+        init_share=args.init_share,
+        oracle=oracle,
+        progress=progress,
+    )
+    if args.progress:
+        print(file=sys.stderr)
+    challenger = args.challenger
+    for i, label in enumerate(result.cell_labels()):
+        share = result.final_shares[i][-1]
+        ne = result.ne[i]
+        reference = (
+            f" (NE sync {ne['share_sync']:.3f}, "
+            f"desync {ne['share_desync']:.3f})"
+            if ne
+            else ""
+        )
+        print(
+            f"  {label}: final {challenger} share {share:.3f}{reference}"
+        )
+    print(
+        f"overall {challenger} share: "
+        f"{result.final_share(challenger):.3f}  "
+        + (
+            "converged"
+            if result.converged
+            else f"not converged (max recent delta "
+            f"{result.max_recent_delta:.4f})"
+        )
+    )
+    stats = result.oracle
+    print(
+        f"oracle: {stats['queries']} queries "
+        f"(tier0 {stats['tier0']}, tier1 {stats['tier1']}), "
+        f"{stats['memo_hits']} memo hits, "
+        f"{stats['calibrations']} calibrations, "
+        f"{stats['sim_points']} sim points"
+    )
+    escalated = result.error_map.escalated()
+    print(
+        "escalated regions: "
+        + (", ".join(escalated) if escalated else "(none)")
+    )
+    if args.out:
+        _write_population_out(args.out, result)
+        print(f"wrote {args.out}/summary.json, trajectory.csv, "
+              f"error_map.json")
+    _print_exec_summary(engine)
+    if args.spans_out and tracer is not None:
+        try:
+            _write_spans(args.spans_out, tracer, engine)
+        except OSError as exc:
+            print(f"cannot write spans: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_population_plot(args: argparse.Namespace) -> int:
+    import csv as csv_mod
+    import json
+    from pathlib import Path
+
+    from repro.experiments.ascii_plot import render_plot
+
+    out = Path(args.dir)
+    try:
+        summary = json.loads(
+            (out / "summary.json").read_text(encoding="utf-8")
+        )
+        rows = list(
+            csv_mod.DictReader(
+                (out / "trajectory.csv")
+                .read_text(encoding="utf-8")
+                .splitlines()
+            )
+        )
+    except (OSError, ValueError) as exc:
+        print(
+            f"cannot load population run from {out}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    challenger = summary["strategies"][-1]
+    labels = [
+        cell["label"] or f"cell{i}"
+        for i, cell in enumerate(summary["cells"])
+    ]
+    series = []
+    for label in labels:
+        ticks = [
+            float(row["tick"])
+            for row in rows
+            if row["cell"] == label and row["strategy"] == challenger
+        ]
+        shares = [
+            float(row["share"])
+            for row in rows
+            if row["cell"] == label and row["strategy"] == challenger
+        ]
+        series.append((label, ticks, shares))
+    last_tick = float(summary["ticks"])
+    for i, ne in enumerate(summary["ne"]):
+        if ne:
+            series.append(
+                (
+                    f"{labels[i]} NE",
+                    [0.0, last_tick],
+                    [ne["share_sync"], ne["share_sync"]],
+                )
+            )
+    print(
+        render_plot(
+            series, xlabel="tick", ylabel=f"{challenger} share"
+        )
+    )
+    final = summary["final_share"][challenger]
+    state = "converged" if summary["converged"] else "not converged"
+    print(f"final {challenger} share: {final:.3f} ({state})")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.campaign import bundled_campaign_dir, list_bundled_campaigns
 
@@ -1008,6 +1256,120 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=100.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_evolve)
+
+    p = sub.add_parser(
+        "population",
+        help="evolve internet-scale CCA adoption dynamics "
+        "(see docs/POPULATION.md)",
+    )
+    population_sub = p.add_subparsers(
+        dest="population_command", required=True
+    )
+
+    pp = population_sub.add_parser(
+        "run", help="run one seeded adoption trajectory"
+    )
+    _add_link_args(pp)
+    pp.add_argument(
+        "--flows",
+        type=_positive_int,
+        default=100,
+        help="flows per cell (default 100)",
+    )
+    pp.add_argument(
+        "--rtt-classes",
+        type=_rtt_class_list,
+        default=None,
+        metavar="MS,MS,...",
+        help="comma-separated RTT classes in ms; one population cell "
+        "per class (default: a single cell at --rtt-ms)",
+    )
+    pp.add_argument(
+        "--dynamics",
+        choices=("replicator", "best-response", "logit"),
+        default="replicator",
+        help="population update rule (default replicator)",
+    )
+    pp.add_argument("--ticks", type=_positive_int, default=80)
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument(
+        "--step",
+        type=_positive_float,
+        default=0.5,
+        help="replicator step size",
+    )
+    pp.add_argument(
+        "--epsilon",
+        type=_positive_float,
+        default=0.2,
+        help="fraction of flows reconsidering per tick (logit rule)",
+    )
+    pp.add_argument(
+        "--mutation",
+        type=float,
+        default=0.0,
+        help="uniform exploration rate mixed into every update",
+    )
+    pp.add_argument(
+        "--inertia",
+        type=float,
+        default=0.5,
+        help="best-response inertia (share kept at the old mix)",
+    )
+    pp.add_argument(
+        "--init-share",
+        type=float,
+        default=0.1,
+        help="initial challenger share in every cell (default 0.1)",
+    )
+    pp.add_argument("--incumbent", default="cubic")
+    pp.add_argument("--challenger", default="bbr")
+    pp.add_argument(
+        "--bound",
+        choices=("sync", "desync", "mid"),
+        default="sync",
+        help="which side of the model's predicted region tier 0 "
+        "reports (default sync)",
+    )
+    pp.add_argument(
+        "--tier",
+        choices=("auto", "0", "1"),
+        default="auto",
+        help="force the payoff tier (auto: calibrate per region "
+        "against the fluid substrate)",
+    )
+    pp.add_argument(
+        "--error-threshold",
+        type=_positive_float,
+        default=0.1,
+        help="calibration error (fraction of fair share) above which "
+        "a region escalates to tier-1 simulation (default 0.1)",
+    )
+    pp.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=30.0,
+        help="simulated seconds per tier-1/calibration point",
+    )
+    pp.add_argument("--trials", type=_positive_int, default=1)
+    pp.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write summary.json, trajectory.csv and error_map.json "
+        "to DIR (the input of 'population plot')",
+    )
+    _add_span_args(pp)
+    _add_exec_args(pp)
+    _add_check_args(pp)
+    pp.set_defaults(func=_cmd_population_run)
+
+    pp = population_sub.add_parser(
+        "plot",
+        help="ASCII-plot a saved adoption trajectory vs its NE",
+    )
+    pp.add_argument("dir", help="directory written by population run")
+    pp.set_defaults(func=_cmd_population_plot)
 
     p = sub.add_parser(
         "report",

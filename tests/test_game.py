@@ -218,3 +218,90 @@ class TestGroupGame:
             FlowGroup(rtt=0.0, size=2)
         with pytest.raises(ValueError):
             FlowGroup(rtt=0.01, size=0)
+
+
+class TestNeExistenceBoundaries:
+    def test_endpoints_do_not_count_as_disproportionate(self):
+        # Condition 1 quantifies over *mixed* distributions (1..n-1):
+        # a challenger that only reaches fair share when it has the
+        # whole link to itself shows no disproportionate share.
+        from repro.core.game import ne_existence_conditions
+
+        n, capacity = 10, 100.0
+        fair = capacity / n
+        lambda_b = [0.0] + [fair * 0.5] * (n - 1) + [fair * 2]
+        lambda_a = [
+            (capacity - lambda_b[k] * k) / (n - k) if k < n else 0.0
+            for k in range(n + 1)
+        ]
+        flags = ne_existence_conditions(
+            ThroughputTable(
+                n_flows=n, lambda_a=lambda_a, lambda_b=lambda_b
+            ),
+            capacity,
+        )
+        assert not flags["disproportionate_share"]
+        assert flags["fills_link_alone"]
+        assert not flags["ne_expected"]
+
+    def test_fills_link_alone_boundary_is_inclusive(self):
+        # The 80%-utilization cut is >=: exactly 0.8 x fair passes,
+        # epsilon below fails.
+        from repro.core.game import ne_existence_conditions
+
+        n, capacity = 10, 100.0
+        fair = capacity / n
+
+        def table_with_all_b(value):
+            lambda_b = [0.0] + [fair * 1.5] * (n - 1) + [value]
+            lambda_a = [
+                (capacity - lambda_b[k] * k) / (n - k) if k < n else 0.0
+                for k in range(n + 1)
+            ]
+            return ThroughputTable(
+                n_flows=n, lambda_a=lambda_a, lambda_b=lambda_b
+            )
+
+        at = ne_existence_conditions(
+            table_with_all_b(0.8 * fair), capacity
+        )
+        below = ne_existence_conditions(
+            table_with_all_b(0.8 * fair - 1e-9), capacity
+        )
+        assert at["fills_link_alone"] and at["ne_expected"]
+        assert not below["fills_link_alone"]
+        assert not below["ne_expected"]
+
+
+class TestBisectNashBracketFailure:
+    def test_no_bracket_when_challenger_never_wins(self):
+        # advantage(1) <= 0 means the bisection bracket never forms:
+        # the search must fall back to the all-A corner, not crash.
+        n, capacity = 12, 120.0
+        fair = capacity / n
+        lambda_b = [0.0] + [fair * 0.4] * n
+        lambda_a = [
+            (capacity - lambda_b[k] * k) / (n - k) if k < n else 0.0
+            for k in range(n + 1)
+        ]
+        table = ThroughputTable(
+            n_flows=n, lambda_a=lambda_a, lambda_b=lambda_b
+        )
+        calls = []
+
+        def fn(k):
+            calls.append(k)
+            return (table.lambda_a[k], table.lambda_b[k])
+
+        equilibria, cache = bisect_nash(n, fn)
+        assert equilibria == [0]
+        # The corner fallback inspects a constant-size neighborhood.
+        assert len(cache) <= 5
+        assert set(calls) == set(cache)
+
+    def test_tiny_games_enumerate_exhaustively(self):
+        # n <= 2 skips bisection entirely and checks every k.
+        fn = lambda k: (1.0, 2.0 if k else 0.0)  # noqa: E731
+        equilibria, cache = bisect_nash(2, fn)
+        assert equilibria == [2]
+        assert set(cache) == {0, 1, 2}

@@ -99,3 +99,33 @@ def test_nash_region_sweep():
 def test_validation():
     with pytest.raises(ValueError):
         predict_nash(link(5), 0)
+
+
+def test_prediction_deterministic_across_repeat_calls():
+    """Same link, same n -> bit-identical prediction, at both extremes
+    of the flow count (the population layer leans on this)."""
+    for n in (1, 2, 50, 10**6):
+        a = predict_nash(link(10), n)
+        b = predict_nash(link(10), n)
+        assert (a.n_bbr_sync, a.n_bbr_desync) == (
+            b.n_bbr_sync,
+            b.n_bbr_desync,
+        )
+        assert a.in_validity_range == b.in_validity_range
+
+
+def test_flow_count_extremes_stay_in_range():
+    for n in (1, 10**6):
+        pred = predict_nash(link(10), n)
+        assert 0 <= pred.n_bbr_sync <= n
+        assert 0 <= pred.n_bbr_desync <= n
+
+
+def test_million_flow_share_matches_small_game():
+    """Eq. 25 is linear in N: the BBR *share* at the sync bound is the
+    same at 50 flows and at a million."""
+    small = predict_nash(link(10), 50)
+    big = predict_nash(link(10), 10**6)
+    assert big.n_bbr_sync / 10**6 == pytest.approx(
+        small.n_bbr_sync / 50, rel=1e-9
+    )
