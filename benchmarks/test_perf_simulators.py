@@ -124,3 +124,62 @@ def test_fluid_telemetry_deterministic():
         assert p.retransmits == i.retransmits
     assert obs.counter("fluid.steps") == instr.events_processed
     assert obs.samples
+
+
+def test_perf_packet_red_aqm(benchmark):
+    """The RED scenario point: same DES workload as the drop-tail packet
+    benchmark above, with the EWMA + drop-lottery AQM in the hot path."""
+    link = LinkConfig.from_mbps_ms(5, 20, 4, aqm="red")
+
+    result = benchmark(
+        run_dumbbell,
+        link,
+        [FlowSpec("cubic"), FlowSpec("bbr")],
+        10.0,
+    )
+    assert result.aggregate_throughput() > 0
+
+
+def test_perf_fluid_red_aqm(benchmark):
+    """The RED scenario point on the fluid core (per-tick AQM kernel)."""
+    link = LinkConfig.from_mbps_ms(100, 40, 5, aqm="red")
+    specs = [FluidSpec("cubic")] * 10 + [FluidSpec("bbr")] * 10
+
+    result = benchmark(run_fluid, link, specs, 120.0)
+    assert result.aggregate_throughput() > 0
+
+
+def test_droptail_fast_path_pays_nothing_for_aqm():
+    """The scenario refactor's no-regression guard: a default drop-tail
+    run must not pay for the AQM/trace hooks it does not use.  Every
+    per-tick site guards on ``self._aqm is None`` / an empty event
+    list, so the drop-tail median must stay within noise of the RED
+    median (which does strictly more work per tick) — if drop-tail ever
+    comes out materially *slower* than RED, the fast path has grown an
+    unconditional cost.
+    """
+    from statistics import median
+    from time import perf_counter
+
+    droptail = LinkConfig.from_mbps_ms(100, 40, 5)
+    red = droptail.with_aqm("red")
+    specs = [FluidSpec("cubic")] * 10 + [FluidSpec("bbr")] * 10
+
+    def run(link):
+        start = perf_counter()
+        result = run_fluid(link, specs, 60.0, seed=3)
+        return result, perf_counter() - start
+
+    run(droptail)  # Warm-up.
+
+    plain_times, red_times = [], []
+    for _ in range(5):
+        plain_result, elapsed = run(droptail)
+        plain_times.append(elapsed)
+        red_result, elapsed = run(red)
+        red_times.append(elapsed)
+
+    # The guard proper: drop-tail must not be slower than RED + noise.
+    assert median(plain_times) < median(red_times) * 1.25
+    # And the scenarios must actually differ, or the guard is vacuous.
+    assert plain_result != red_result

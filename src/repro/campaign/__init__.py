@@ -11,6 +11,11 @@ anything, and an ``adaptive`` stage turns the paper's NE-region search
 
 from repro.campaign.expand import Unit, expand_axes, expand_units
 from repro.campaign.journal import Journal, JournalError, JournalRecord
+from repro.campaign.report import (
+    ErrorRow,
+    ModelErrorReport,
+    model_error_report,
+)
 from repro.campaign.run import (
     CampaignError,
     CampaignSummary,
@@ -41,9 +46,11 @@ __all__ = [
     "CampaignError",
     "CampaignSpec",
     "CampaignSummary",
+    "ErrorRow",
     "Journal",
     "JournalError",
     "JournalRecord",
+    "ModelErrorReport",
     "SpecError",
     "Stage",
     "Unit",
@@ -59,6 +66,7 @@ __all__ = [
     "list_bundled_campaigns",
     "load_campaign",
     "load_spec",
+    "model_error_report",
     "parse_mix",
     "parse_spec",
     "run_campaign",

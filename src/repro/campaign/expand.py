@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.campaign.spec import CampaignSpec, Mix, format_mix
+from repro.campaign.spec import CampaignSpec, Mix, SpecError, format_mix
 from repro.exec.fingerprint import (
     ScenarioPoint,
     fingerprint_payload,
@@ -169,14 +169,34 @@ def _resolve_link(
         # identity (and therefore cache fingerprints) matches the
         # hand-coded ``base.with_buffer_bdp(depth)`` figure loops.
         if buffer_bdp is None:
-            return spec.link
-        return spec.link.with_buffer_bdp(buffer_bdp)
-    return LinkConfig.from_mbps_ms(
-        bandwidth if bandwidth is not None else spec.link.capacity_mbps,
-        rtt if rtt is not None else spec.link.rtt_ms,
-        buffer_bdp if buffer_bdp is not None else spec.link.buffer_bdp,
-        mss=spec.link.mss,
-    )
+            link = spec.link
+        else:
+            link = spec.link.with_buffer_bdp(buffer_bdp)
+    else:
+        link = LinkConfig.from_mbps_ms(
+            bandwidth if bandwidth is not None else spec.link.capacity_mbps,
+            rtt if rtt is not None else spec.link.rtt_ms,
+            buffer_bdp if buffer_bdp is not None else spec.link.buffer_bdp,
+            mss=spec.link.mss,
+            aqm=spec.link.aqm,
+            capacity_trace=spec.link.capacity_trace,
+        )
+    # Scenario axes layer on top of the geometric resolution so the
+    # drop-tail/constant default path above keeps its historical
+    # object (and fingerprint) identity.
+    aqm = combo.get("aqm")
+    ecn = combo.get("ecn")
+    try:
+        if aqm is not None or ecn is not None:
+            link = link.with_aqm(
+                aqm if aqm is not None else link.aqm, ecn=ecn
+            )
+        trace = combo.get("capacity_trace")
+        if trace is not None:
+            link = link.with_capacity_trace(trace)
+    except ValueError as exc:
+        raise SpecError(f"combination {dict(combo)!r}: {exc}") from None
+    return link
 
 
 def expand_units(spec: CampaignSpec) -> List[Unit]:

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.fingerprint import fingerprint_payload
+from repro.scenario import BACKENDS, parse_aqm, parse_capacity_trace
 from repro.util.config import LinkConfig
 
 __all__ = [
@@ -56,10 +57,15 @@ FLOAT_AXES = ("bandwidth_mbps", "rtt_ms", "buffer_bdp", "duration", "epsilon")
 #: Axes that sweep an int-valued scenario parameter.
 INT_AXES = ("seed", "trials")
 #: Axes that sweep a string-valued scenario parameter.  ``dynamics``
-#: selects the population-stage update rule.
-STR_AXES = ("backend", "loss_mode", "dynamics")
+#: selects the population-stage update rule; ``aqm`` and
+#: ``capacity_trace`` accept any :mod:`repro.scenario` spelling
+#: (``"red"``, ``"steps:5@0.5"``, ...).
+STR_AXES = ("backend", "loss_mode", "dynamics", "aqm", "capacity_trace")
+#: Axes that sweep a boolean scenario parameter (``ecn`` toggles
+#: marking on the swept/default AQM).
+BOOL_AXES = ("ecn",)
 #: Every sweepable axis name (``mix`` sweeps the flow mix itself).
-AXIS_NAMES = FLOAT_AXES + INT_AXES + STR_AXES + ("mix",)
+AXIS_NAMES = FLOAT_AXES + INT_AXES + STR_AXES + BOOL_AXES + ("mix",)
 
 #: Axes that only population stages consume.
 POPULATION_AXES = ("epsilon", "dynamics")
@@ -296,6 +302,8 @@ class CampaignSpec:
                 "rtt_ms": float(self.link.rtt_ms),
                 "buffer_bdp": float(self.link.buffer_bdp),
                 "mss": int(self.link.mss),
+                "aqm": self.link.aqm.to_dict(),
+                "capacity_trace": self.link.capacity_trace.to_dict(),
             },
             "defaults": {
                 "duration": float(self.duration),
@@ -350,8 +358,6 @@ def _get_str(table: Dict[str, Any], key: str, default: str, where: str) -> str:
 
 
 def _check_backend(backend: str, where: str) -> str:
-    from repro.experiments.runner import BACKENDS
-
     if backend not in BACKENDS:
         raise SpecError(
             f"{where}: backend must be one of {', '.join(BACKENDS)}, "
@@ -405,6 +411,10 @@ def _parse_axis(entry: Any, index: int, source: str) -> Axis:
             if name == "trials" and value < 1:
                 raise SpecError(f"{vwhere}: trials must be >= 1")
             parsed.append(value)
+        elif name in BOOL_AXES:
+            if not isinstance(value, bool):
+                raise SpecError(f"{vwhere}: expected a boolean, got {value!r}")
+            parsed.append(value)
         else:  # STR_AXES
             if not isinstance(value, str):
                 raise SpecError(f"{vwhere}: expected a string, got {value!r}")
@@ -412,6 +422,16 @@ def _parse_axis(entry: Any, index: int, source: str) -> Axis:
                 _check_backend(value, vwhere)
             if name == "dynamics":
                 _check_dynamics(value, vwhere)
+            if name == "aqm":
+                try:
+                    parse_aqm(value)
+                except ValueError as exc:
+                    raise SpecError(f"{vwhere}: {exc}") from None
+            if name == "capacity_trace":
+                try:
+                    parse_capacity_trace(value)
+                except ValueError as exc:
+                    raise SpecError(f"{vwhere}: {exc}") from None
             parsed.append(value)
     return Axis(name=name, values=tuple(parsed))
 
@@ -548,8 +568,21 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
 
     link_table = _get_table(data, "link", source)
     for key in link_table:
-        if key not in ("bandwidth_mbps", "rtt_ms", "buffer_bdp", "mss"):
+        if key not in (
+            "bandwidth_mbps",
+            "rtt_ms",
+            "buffer_bdp",
+            "mss",
+            "aqm",
+            "ecn",
+            "capacity_trace",
+        ):
             raise SpecError(f"{source}: [link] has unknown key {key!r}")
+    ecn = link_table.get("ecn")
+    if ecn is not None and not isinstance(ecn, bool):
+        raise SpecError(
+            f"{source}: link.ecn: expected a boolean, got {ecn!r}"
+        )
     try:
         link = LinkConfig.from_mbps_ms(
             _get_number(
@@ -558,6 +591,10 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
             _get_number(link_table, "rtt_ms", 40.0, f"{source}: link"),
             _get_number(link_table, "buffer_bdp", 5.0, f"{source}: link"),
             mss=_get_int(link_table, "mss", 1500, f"{source}: link"),
+            aqm=parse_aqm(link_table.get("aqm"), ecn=ecn),
+            capacity_trace=parse_capacity_trace(
+                link_table.get("capacity_trace")
+            ),
         )
     except ValueError as exc:
         raise SpecError(f"{source}: [link] {exc}") from None

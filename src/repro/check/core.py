@@ -135,16 +135,43 @@ class Checker:
         in_service: int,
         buffer_bytes: float,
         gauge: int,
+        aqm_dropped: int = 0,
+        marked: int = 0,
     ) -> None:
-        """Byte-conservation audit at the bottleneck link."""
+        """Byte-conservation audit at the bottleneck link.
+
+        ``dropped`` is the *total* (tail + AQM early) drop count, with
+        ``aqm_dropped`` the AQM share of it; ``marked`` bytes were
+        CE-marked and forwarded, so they stay on the forwarded side of
+        the conservation identity:
+        ``offered == forwarded (incl. marked) + tail_drops + aqm_drops
+        + queued + in-service``.
+        """
         self.checks_run += 1
         accounted = forwarded + dropped + queued + in_service
         if offered != accounted:
+            tail = dropped - aqm_dropped
             self.fail(
                 "link.conservation",
-                f"offered {offered}B != forwarded {forwarded}B + dropped "
-                f"{dropped}B + queued {queued}B + in-service "
+                f"offered {offered}B != forwarded {forwarded}B "
+                f"(incl. {marked}B marked) + tail drops {tail}B + AQM "
+                f"drops {aqm_dropped}B + queued {queued}B + in-service "
                 f"{in_service}B (= {accounted}B)",
+                time=now,
+            )
+        if aqm_dropped < 0 or aqm_dropped > dropped:
+            self.fail(
+                "link.conservation",
+                f"AQM drops {aqm_dropped}B outside the total dropped "
+                f"{dropped}B: the drop split is corrupt",
+                time=now,
+            )
+        if marked < 0 or marked > forwarded + queued + in_service:
+            self.fail(
+                "link.conservation",
+                f"marked {marked}B exceed the bytes that ever passed "
+                f"the queue (forwarded {forwarded}B + queued {queued}B "
+                f"+ in-service {in_service}B)",
                 time=now,
             )
         if queued < 0 or queued > buffer_bytes:
@@ -158,6 +185,17 @@ class Checker:
                 "link.occupancy_gauge",
                 f"occupancy-integral gauge {gauge}B disagrees with the "
                 f"queue ({queued}B): the mean-queue integral is corrupt",
+                time=now,
+            )
+
+    def capacity_change(self, now: float, capacity: float) -> None:
+        """Trace-legality check for a time-varying capacity step."""
+        self.checks_run += 1
+        if not math.isfinite(capacity) or capacity <= 0:
+            self.fail(
+                "link.capacity_trace",
+                f"capacity stepped to {capacity!r}B/s: trace scales "
+                "must stay finite and positive",
                 time=now,
             )
 

@@ -12,13 +12,19 @@ Subcommands:
   tiered payoff oracle (``run``, ``plot``; see docs/POPULATION.md).
 * ``report``   — summarize a JSONL trace written with ``--trace-out``.
 * ``campaign`` — run/resume/inspect declarative scenario campaigns
-  (``run``, ``resume``, ``status``, ``validate``; see docs/CAMPAIGNS.md).
+  (``run``, ``resume``, ``status``, ``validate``, ``report``; see
+  docs/CAMPAIGNS.md).
 * ``top``      — follow a campaign directory's live progress/ETA.
 * ``trace``    — inspect exported span traces (``report``).
 * ``cc``       — inspect the canonical congestion-control table
   (``list``: every algorithm, its substrates, and law parameters).
 * ``cache``    — inspect (``info``) or prune (``clear``) the result cache.
 * ``list``     — list figures, congestion controls, and bundled campaigns.
+
+``simulate``, ``figure``, and ``campaign run`` accept the scenario
+flags ``--aqm {droptail,red,codel}``, ``--ecn`` (mark instead of drop),
+and ``--capacity-trace SPEC`` (piecewise capacity scaling, e.g.
+``steps:5@0.5,10@1.0``); see docs/SIMULATORS.md.
 
 ``simulate`` and ``figure`` accept ``--profile`` (print telemetry
 counters/timers after the run) and ``--trace-out PATH`` (write a run
@@ -70,8 +76,42 @@ def _add_link_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario-schema flags (see docs/SIMULATORS.md, repro.scenario)."""
+    parser.add_argument(
+        "--aqm",
+        choices=("droptail", "red", "codel"),
+        default=None,
+        help="bottleneck queue discipline (default droptail)",
+    )
+    parser.add_argument(
+        "--ecn",
+        action="store_true",
+        help="ECN-mark instead of dropping when the AQM fires "
+        "(requires --aqm red or codel)",
+    )
+    parser.add_argument(
+        "--capacity-trace",
+        default=None,
+        metavar="SPEC",
+        help="time-varying capacity: 'steps:T@SCALE,T@SCALE,...' or "
+        "'trace:PERIOD:S1,S2,...' (scales of the base capacity)",
+    )
+
+
+def _scenario_kwargs(args: argparse.Namespace) -> dict:
+    """The scenario-flag values of ``args`` as from_mbps_ms kwargs."""
+    return {
+        "aqm": getattr(args, "aqm", None),
+        "ecn": True if getattr(args, "ecn", False) else None,
+        "capacity_trace": getattr(args, "capacity_trace", None),
+    }
+
+
 def _link_from(args: argparse.Namespace) -> LinkConfig:
-    return LinkConfig.from_mbps_ms(args.mbps, args.rtt_ms, args.buffer_bdp)
+    return LinkConfig.from_mbps_ms(
+        args.mbps, args.rtt_ms, args.buffer_bdp, **_scenario_kwargs(args)
+    )
 
 
 def _positive_float(value: str) -> float:
@@ -344,7 +384,11 @@ def _cmd_nash(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    link = _link_from(args)
+    try:
+        link = _link_from(args)
+    except ValueError as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
     mix = []
     for item in args.mix:
         try:
@@ -547,13 +591,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.exec import use as use_engine
     from repro.experiments.runner import use_fluid_substrate
     from repro.obs import use as use_obs
+    from repro.scenario import scenario_overrides
 
     # Figures drive run_mix internally without obs/engine parameters, so
-    # instrument them by installing both as the process defaults.
-    with use_obs(obs), use_engine(engine), use_fluid_substrate(
-        getattr(args, "backend", None)
-    ):
-        produced = FIGURES[key](scale=args.scale)
+    # instrument them by installing both as the process defaults; the
+    # scenario flags reach their internally built links the same way.
+    try:
+        with use_obs(obs), use_engine(engine), use_fluid_substrate(
+            getattr(args, "backend", None)
+        ), scenario_overrides(**_scenario_kwargs(args)):
+            produced = FIGURES[key](scale=args.scale)
+    except ValueError as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return 2
     if engine.done:
         print(file=sys.stderr)  # End the \r progress line.
     figures = produced if isinstance(produced, list) else [produced]
@@ -939,6 +989,28 @@ def _print_campaign_summary(summary) -> None:
     )
 
 
+def _override_campaign_scenario(spec, args: argparse.Namespace):
+    """Apply --aqm/--ecn/--capacity-trace to a loaded campaign spec.
+
+    The overridden link lands in the frozen ``spec.json`` the run
+    writes, so later resumes stay consistent without re-passing flags.
+    """
+    from dataclasses import replace
+
+    kwargs = _scenario_kwargs(args)
+    if all(value is None for value in kwargs.values()):
+        return spec
+    link = spec.link
+    if kwargs["aqm"] is not None or kwargs["ecn"] is not None:
+        link = link.with_aqm(
+            kwargs["aqm"] if kwargs["aqm"] is not None else link.aqm,
+            ecn=kwargs["ecn"],
+        )
+    if kwargs["capacity_trace"] is not None:
+        link = link.with_capacity_trace(kwargs["capacity_trace"])
+    return replace(spec, link=link)
+
+
 def _run_campaign_cmd(args: argparse.Namespace, resume: bool) -> int:
     from repro.campaign import load_campaign, load_spec, run_campaign
 
@@ -948,6 +1020,11 @@ def _run_campaign_cmd(args: argparse.Namespace, resume: bool) -> int:
     else:
         spec = load_spec(args.spec)
         out_dir = args.out
+        try:
+            spec = _override_campaign_scenario(spec, args)
+        except ValueError as exc:
+            print(f"bad scenario: {exc}", file=sys.stderr)
+            return 2
     tracer = _activate_tracing(args.trace_out)
     _activate_profile_points(args)
     engine = _engine_from(args)
@@ -1048,6 +1125,21 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     )
     if state == "resumable":
         print(f"  resume with: repro-bbr campaign resume {args.dir}")
+    return 0
+
+
+@_campaign_errors
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import model_error_report
+
+    report = model_error_report(
+        args.dir,
+        compare=args.compare,
+        reference=args.reference,
+        share_cc=args.share_cc,
+    )
+    print(report.render())
+    print(f"wrote {report.csv_path}")
     return 0
 
 
@@ -1190,6 +1282,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    _add_scenario_args(p)
     _add_obs_args(p)
     _add_span_args(p)
     _add_exec_args(p)
@@ -1214,6 +1307,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--csv-dir", default=None, help="also write CSVs to this directory"
     )
+    _add_scenario_args(p)
     _add_obs_args(p)
     _add_span_args(p)
     _add_exec_args(p)
@@ -1409,6 +1503,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="substrate serving the campaign's fluid-model units "
         "(fluid-vec is bit-identical and faster)",
     )
+    _add_scenario_args(cp)
     _add_campaign_obs_args(cp)
     _add_exec_args(cp)
     _add_check_args(cp)
@@ -1454,6 +1549,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("spec", help="path to a .toml/.json campaign spec")
     cp.set_defaults(func=_cmd_campaign_validate)
+
+    cp = campaign_sub.add_parser(
+        "report",
+        help="per-scenario-family model error from a completed "
+        "campaign that sweeps a backend axis",
+    )
+    cp.add_argument("dir", help="campaign output directory")
+    cp.add_argument(
+        "--compare",
+        default="backend",
+        metavar="AXIS",
+        help="axis whose values are compared (default: backend)",
+    )
+    cp.add_argument(
+        "--reference",
+        default="packet",
+        metavar="VALUE",
+        help="axis value treated as ground truth (default: packet)",
+    )
+    cp.add_argument(
+        "--share-cc",
+        default="bbr",
+        metavar="CC",
+        help="CC whose aggregate-throughput share is scored "
+        "(default: bbr)",
+    )
+    cp.set_defaults(func=_cmd_campaign_report)
 
     p = sub.add_parser(
         "top",

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro import __version__
+from repro.scenario import BACKENDS, expand_mix
 from repro.util.config import LinkConfig
 
 __all__ = [
@@ -35,7 +36,7 @@ __all__ = [
 #: Cache payload schema version.  Bump whenever the fingerprinted inputs
 #: or the cached payload layout change incompatibly; old entries then
 #: miss (different fingerprint) instead of being misread.
-CACHE_SCHEMA = 3  # v3: fluid-vec backend + batched engine execution.
+CACHE_SCHEMA = 4  # v4: spec-derived link identity (AQM / capacity trace).
 
 #: Package version folded into every fingerprint so results cached by an
 #: older simulator never masquerade as current ones.  Module-level (not
@@ -43,14 +44,14 @@ CACHE_SCHEMA = 3  # v3: fluid-vec backend + batched engine execution.
 REPRO_VERSION = __version__
 
 
-def link_params(link: LinkConfig) -> Dict[str, float]:
-    """The JSON-serializable identity of a bottleneck configuration."""
-    return {
-        "capacity": link.capacity,
-        "rtt": link.rtt,
-        "buffer_bdp": link.buffer_bdp,
-        "mss": link.mss,
-    }
+def link_params(link: LinkConfig) -> Dict[str, Any]:
+    """The JSON-serializable identity of a bottleneck configuration.
+
+    Derived from the spec's own canonical form
+    (:meth:`repro.scenario.BottleneckSpec.to_dict`) so a field added to
+    the schema can never be silently dropped from fingerprints.
+    """
+    return link.to_dict()
 
 
 def fingerprint_payload(kind: str, params: Dict[str, Any]) -> str:
@@ -97,8 +98,6 @@ class ScenarioPoint:
     loss_mode: str = "proportional"
 
     def __post_init__(self) -> None:
-        from repro.experiments.runner import BACKENDS
-
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend}"

@@ -35,6 +35,7 @@ from repro.fluidsim.vec import (
     run_fluid_vec,
     run_fluid_vec_batch,
 )
+from repro.scenario import BACKENDS, expand_mix
 from repro.sim.network import FlowSpec, run_dumbbell
 from repro.util.config import LinkConfig
 
@@ -42,7 +43,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.engine import Engine
     from repro.obs.bus import Telemetry
 
-BACKENDS = ("packet", "fluid", "fluid-vec")
+__all__ = [
+    "BACKENDS",
+    "FLUID_SUBSTRATE_ENV",
+    "ScenarioResult",
+    "distribution_throughput_fn",
+    "distribution_utility_fn",
+    "expand_mix",
+    "fluid_substrate",
+    "group_payoff_fn",
+    "run_mix",
+    "run_mix_batch",
+    "spaced_seed",
+    "use_fluid_substrate",
+]
 
 #: Env var redirecting ``backend="fluid"`` requests to another fluid
 #: substrate ("fluid-vec").  The vectorized substrate reproduces the
@@ -100,25 +114,6 @@ def use_fluid_substrate(backend: Optional[str]) -> Iterator[None]:
             os.environ.pop(FLUID_SUBSTRATE_ENV, None)
         else:
             os.environ[FLUID_SUBSTRATE_ENV] = previous
-
-
-def expand_mix(
-    mix: Sequence[Tuple[str, int]],
-    rtts: Optional[Dict[str, float]] = None,
-) -> List[Tuple[str, Optional[float]]]:
-    """Expand a ``(cc, count)`` mix into per-flow ``(cc, rtt)`` pairs.
-
-    The single expansion both simulator backends (and the execution
-    engine's scenario fingerprints) agree on: CCA names lowercased,
-    order preserved, ``rtts`` overrides applied per class (None = use
-    the link's base RTT).
-    """
-    expanded: List[Tuple[str, Optional[float]]] = []
-    for cc, count in mix:
-        key = cc.lower()
-        rtt = rtts.get(key) if rtts is not None else None
-        expanded.extend((key, rtt) for _ in range(count))
-    return expanded
 
 
 def spaced_seed(seed: int, k: int) -> int:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.fluidsim.aqmfluid import make_fluid_aqm
 from repro.sim.network import FlowResult, SimulationResult
 from repro.util.config import LinkConfig
 
@@ -156,6 +157,24 @@ class FluidSimulation:
         self.obs = obs
         self.check = check = resolve_check(check)
 
+        # Scenario extensions (repro.scenario): a non-constant capacity
+        # trace schedules piecewise-constant capacity steps, an AQM spec
+        # adds deterministic per-tick drop/mark volumes.  Both are None
+        # on the drop-tail/constant default, leaving the historical tick
+        # loop untouched bit for bit.
+        trace = getattr(link, "capacity_trace", None)
+        if trace is not None and not trace.is_constant:
+            self._cap_events = list(trace.change_events())
+            self.capacity_now = link.capacity * trace.scale_at(0.0)
+        else:
+            self._cap_events = []
+            self.capacity_now = link.capacity
+        self._cap_cursor = 0
+        #: AQM byte accounting (fluid analogue of LinkStats).
+        self.aqm_dropped_bytes = 0.0
+        self.marked_bytes = 0.0
+        self.capacity_changes = 0
+
         self.specs = list(flows)
         self.flows = []
         for flow_id, spec in enumerate(flows):
@@ -179,6 +198,7 @@ class FluidSimulation:
         self.dt = dt if dt is not None else min_rtt / 4.0
         if self.dt <= 0:
             raise ValueError(f"dt must be positive, got {self.dt}")
+        self._aqm = make_fluid_aqm(link, self.dt)
         self._equal_rtt = all(f.rtt == self.flows[0].rtt for f in self.flows)
         # Rate-conservation tolerance: relative float slack plus the
         # bisection's 1-byte queue tolerance amplified by 1/min_rtt
@@ -235,7 +255,7 @@ class FluidSimulation:
 
     def _solve_queue(self, inflights: List[float]) -> float:
         """Queue size (bytes) implied by the in-flight totals."""
-        capacity = self.link.capacity
+        capacity = self.capacity_now
         if self._equal_rtt:
             bdp = capacity * self.flows[0].rtt
             return max(0.0, sum(inflights) - bdp)
@@ -312,7 +332,7 @@ class FluidSimulation:
             raise ValueError(f"warmup must lie in [0, duration)")
         self._has_run = True
         wall_start = perf_counter()
-        capacity = self.link.capacity
+        capacity = self.capacity_now
         buffer_bytes = self.link.buffer_bytes
         check = self.check
         dt = self.dt
@@ -330,6 +350,8 @@ class FluidSimulation:
         steps = int(math.ceil(duration / dt))
         for _step in range(steps):
             now += dt
+            if self._cap_events:
+                capacity = self._apply_capacity_steps(now)
             if not measure_started and now >= warmup:
                 measure_started = True
                 self._measure_start = now
@@ -355,10 +377,14 @@ class FluidSimulation:
                 for i, f in enumerate(self.flows)
             ]
 
-            # 2-3. Solve the queue; handle overflow.
+            # 2-3. Solve the queue; handle overflow, then the AQM.
             queue = self._solve_queue(inflights)
             if queue > buffer_bytes:
                 queue = self._handle_overflow(
+                    now, inflights, queue, lost_this_tick
+                )
+            if self._aqm is not None:
+                queue = self._apply_aqm(
                     now, inflights, queue, lost_this_tick
                 )
             self.queue_bytes = queue
@@ -477,6 +503,112 @@ class FluidSimulation:
             self.loss_events[i].append(now)
 
         return min(self._solve_queue(inflights), buffer_bytes)
+
+    def _apply_capacity_steps(self, now: float) -> float:
+        """Apply due capacity-trace steps; returns the current capacity.
+
+        Steps take effect on the first tick whose time reaches the step
+        time (the fluid analogue of the packet substrate's event-loop
+        scheduling).
+        """
+        events = self._cap_events
+        cursor = self._cap_cursor
+        base = self.link.capacity
+        while cursor < len(events) and now >= events[cursor][0]:
+            scale = events[cursor][1]
+            cursor += 1
+            self.capacity_now = base * scale
+            self.capacity_changes += 1
+            if self.obs is not None:
+                self.obs.count("link.capacity_changes")
+                self.obs.event(
+                    "link.capacity_change",
+                    time=now,
+                    capacity=self.capacity_now,
+                )
+            if self.check is not None:
+                self.check.capacity_change(now, self.capacity_now)
+        self._cap_cursor = cursor
+        return self.capacity_now
+
+    def _apply_aqm(
+        self,
+        now: float,
+        inflights: List[float],
+        queue: float,
+        lost_this_tick: List[float],
+    ) -> float:
+        """Apply this tick's AQM decision; returns the re-solved queue.
+
+        The decision object (:mod:`repro.fluidsim.aqmfluid`) turns the
+        solved queue into an affected byte volume.  Without ECN those
+        bytes are *dropped*: they land on flows in proportion to queue
+        share (Assumption 3 of §2.3, exactly like overflow drops) and
+        count as lost.  With ECN the same volume is *marked*: no bytes
+        are removed, but the marks feed the same loss-perception
+        accumulator, so loss-based flows back off as the paper's model
+        expects a congestion signal to make them — the fluid analogue
+        of RFC 3168's mark-equals-loss control response.
+        """
+        volume = self._aqm.tick(now, queue, self.capacity_now, self.dt)
+        if volume <= 0.0:
+            return queue
+        total_inflight = sum(inflights)
+        if total_inflight <= 0:
+            return queue
+        volume = min(volume, total_inflight)
+        ecn = self._aqm.ecn
+        mss = self.link.mss
+        queue_shares = [w / total_inflight for w in inflights]
+        for i, flow in enumerate(self.flows):
+            if inflights[i] <= 0:
+                continue
+            amount = volume * queue_shares[i]
+            self._drop_accumulator[i] += amount
+            if not ecn:
+                inflights[i] = max(inflights[i] - amount, 0.0)
+                flow.on_drop(now, amount)
+                self._lost[i] += amount
+                lost_this_tick[i] += amount
+        if ecn:
+            self.marked_bytes += volume
+            if self.obs is not None:
+                self.obs.count(
+                    "link.ecn_marks", max(int(volume / mss), 1)
+                )
+                self.obs.event(
+                    "link.mark",
+                    time=now,
+                    marked_bytes=volume,
+                    queued_bytes=queue,
+                )
+        else:
+            self.aqm_dropped_bytes += volume
+            if self.obs is not None:
+                self.obs.count(
+                    "link.aqm_drops", max(int(volume / mss), 1)
+                )
+                self.obs.count(
+                    "link.dropped_packets", max(int(volume / mss), 1)
+                )
+                self.obs.count("link.dropped_bytes", int(volume))
+                self.obs.event(
+                    "link.drop",
+                    time=now,
+                    dropped_bytes=volume,
+                    queued_bytes=queue,
+                    aqm=True,
+                )
+        responsive = [
+            i
+            for i, f in enumerate(self.flows)
+            if f.loss_based and inflights[i] > 0
+        ]
+        for i in self._pick_victims(queue_shares, responsive):
+            self.flows[i].on_loss(now)
+            inflights[i] = min(inflights[i], self.flows[i].inflight)
+            self.loss_events[i].append(now)
+        return min(self._solve_queue(inflights), self.link.buffer_bytes)
 
     def _build_result(
         self, duration: float, warmup: float

@@ -46,6 +46,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cc.laws import registry as laws_registry
+from repro.fluidsim.aqmfluid import make_fluid_aqm
 from repro.fluidsim.core import LOSS_MODES, FluidSpec
 from repro.fluidsim.mathops import np
 from repro.fluidsim.vec_laws import TickState, VecKernel
@@ -254,6 +255,50 @@ class VecFluidSim:
             ]
         )
         self._rate_slack = self._capacity * 1e-6 + 2.0 / min_rtt_p
+
+        # ---- scenario extensions (repro.scenario) --------------------
+        # Capacity traces: per-point step-event lists; ``self._capacity``
+        # becomes the *current* capacity (the rate slack above keeps the
+        # base, like the scalar path).  AQM: one pure-Python decision
+        # object per point (shared with the scalar substrate, so both
+        # see the same floats).  Both lists are empty/None on the
+        # drop-tail/constant default, leaving the tick loop untouched.
+        self._cap_events: List[List[Tuple[float, float]]] = []
+        self._cap_cursor = [0] * n_points
+        trace_points: List[int] = []
+        for p, point in enumerate(self.points):
+            trace = getattr(point.link, "capacity_trace", None)
+            if trace is not None and not trace.is_constant:
+                self._cap_events.append(list(trace.change_events()))
+                self._capacity[p] = (
+                    point.link.capacity * trace.scale_at(0.0)
+                )
+                self._bdp[p] = (
+                    self._capacity[p] * self._rtt[self._starts_p[p]]
+                )
+                trace_points.append(p)
+            else:
+                self._cap_events.append([])
+        self._trace_points = trace_points
+        self._any_trace = bool(trace_points)
+        self._aqms = [
+            make_fluid_aqm(point.link, dts[p])
+            for p, point in enumerate(self.points)
+        ]
+        self._aqm_points = [
+            p for p, aqm in enumerate(self._aqms) if aqm is not None
+        ]
+        self._any_aqm = bool(self._aqm_points)
+        self._aqm_ecn_f = np.zeros(n_flows, dtype=bool)
+        for p in self._aqm_points:
+            if self._aqms[p].ecn:
+                lo = starts_p[p]
+                self._aqm_ecn_f[lo : lo + counts_p[p]] = True
+        #: Per-point AQM byte accounting (fluid analogue of LinkStats).
+        self.aqm_dropped_bytes = np.zeros(n_points)
+        self.marked_bytes = np.zeros(n_points)
+        self.capacity_changes = [0] * n_points
+
         modes = [p.loss_mode for p in self.points]
         self._sync_p = np.array([m == "sync" for m in modes], dtype=bool)
         self._desync_p = np.array(
@@ -439,6 +484,8 @@ class VecFluidSim:
             else:
                 p_act = self._steps_p > step
                 now_p = np.where(p_act, now_p + self._dt, now_p)
+            if self._any_trace:
+                self._apply_capacity_steps(now_p)
             if not all_started:
                 newly = p_act & ~measure_started & (
                     now_p >= self._warmup
@@ -491,6 +538,10 @@ class VecFluidSim:
             if over.any():
                 queue, w = self._handle_overflow(
                     state, now_p, w, queue, total, over, lost_tick
+                )
+            if self._any_aqm:
+                queue, w = self._apply_aqm(
+                    state, now_p, w, queue, lost_tick
                 )
             self.queue_bytes = queue
             queue_delay = queue / self._capacity
@@ -596,11 +647,39 @@ class VecFluidSim:
         self._drop_accumulator += dropped
 
         responsive = self._loss_based & (w > 0) & dropping_f
+        self._backoff_victims(state, now_p, w, shares, responsive, dropping_pts)
+
+        solved, _ = self._solve_queue(w)
+        np.copyto(
+            queue, np.minimum(solved, self._buffer), where=dropping_pts
+        )
+        if dead.any():
+            np.copyto(queue, self._buffer, where=dead)
+        return queue, w
+
+    def _backoff_victims(
+        self,
+        state: TickState,
+        now_p: np.ndarray,
+        w: np.ndarray,
+        shares: np.ndarray,
+        responsive: np.ndarray,
+        pts: np.ndarray,
+    ) -> None:
+        """Select and back off loss victims among ``responsive`` rows.
+
+        ``pts`` masks the points where a congestion signal fired this
+        tick (overflow or AQM); the sync/desync/proportional admission
+        logic — and its RNG draw order — is the scalar substrate's
+        :meth:`repro.fluidsim.core.FluidSimulation._pick_victims`.
+        Mutates ``w`` in place for admitted victims.
+        """
+        pf = self._pf
         victims = np.zeros(self.n_flows, dtype=bool)
         if self._has_sync:
             victims |= responsive & self._sync_p[pf]
         desync = (
-            dropping_pts & self._desync_p
+            pts & self._desync_p
             if self._has_desync
             else None
         )
@@ -646,12 +725,137 @@ class VecFluidSim:
                     float(now_p[p])
                 )
 
+    def _apply_capacity_steps(self, now_p: np.ndarray) -> None:
+        """Apply due capacity-trace steps to traced points.
+
+        Mirrors the scalar substrate: a step takes effect on the first
+        tick whose time reaches the step time, rescaling the point's
+        capacity *and* its closed-form BDP anchor (the scalar path
+        recomputes ``capacity · rtt`` fresh each solve).
+        """
+        for p in self._trace_points:
+            events = self._cap_events[p]
+            cursor = self._cap_cursor[p]
+            if cursor >= len(events):
+                continue
+            now = float(now_p[p])
+            base = self.points[p].link.capacity
+            moved = False
+            while cursor < len(events) and now >= events[cursor][0]:
+                scale = events[cursor][1]
+                cursor += 1
+                cap = base * scale
+                self._capacity[p] = cap
+                self.capacity_changes[p] += 1
+                if self.obs is not None:
+                    self.obs.count("link.capacity_changes")
+                    self.obs.event(
+                        "link.capacity_change", time=now, capacity=cap
+                    )
+                if self.check is not None:
+                    self.check.capacity_change(now, cap)
+                moved = True
+            if moved:
+                self._cap_cursor[p] = cursor
+                self._bdp[p] = (
+                    self._capacity[p] * self._rtt[self._starts_p[p]]
+                )
+
+    def _apply_aqm(
+        self,
+        state: TickState,
+        now_p: np.ndarray,
+        w: np.ndarray,
+        queue: np.ndarray,
+        lost_tick: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply this tick's AQM decisions; returns (queue, w).
+
+        The per-point decision objects are the *same* pure-Python
+        classes the scalar substrate ticks (:mod:`repro.fluidsim
+        .aqmfluid`), fed plain floats, and the returned volumes are
+        applied with the overflow handler's exact arithmetic — which is
+        what keeps scalar and vec AQM trajectories bit-identical.
+        """
+        pf = self._pf
+        vol = np.zeros(self.n_points)
+        fired = False
+        for p in self._aqm_points:
+            v = self._aqms[p].tick(
+                float(now_p[p]),
+                float(queue[p]),
+                float(self._capacity[p]),
+                self._dt_py[p],
+            )
+            if v > 0.0:
+                vol[p] = v
+                fired = True
+        if not fired:
+            return queue, w
+        total = self._segment_sum(w)
+        firing = (vol > 0.0) & (total > 0.0)
+        if not firing.any():
+            return queue, w
+        vol = np.where(firing, np.minimum(vol, total), 0.0)
+
+        firing_f = firing[pf]
+        with np.errstate(all="ignore"):
+            shares = np.where(firing_f, w / total[pf], 0.0)
+        aff = firing_f & (w > 0)
+        amount = np.where(aff, vol[pf] * shares, 0.0)
+        # Marks and drops alike feed loss perception (RFC 3168: a mark
+        # elicits the same control response as a loss).
+        self._drop_accumulator += amount
+        drop_hit = aff & ~self._aqm_ecn_f
+        dropped = np.where(drop_hit, amount, 0.0)
+        np.copyto(w, np.maximum(w - dropped, 0.0), where=drop_hit)
+        for kernel in self.kernels:
+            kernel.on_drop(state, dropped, drop_hit)
+        self._lost += dropped
+        lost_tick += dropped
+
+        for p in np.nonzero(firing)[0]:
+            p = int(p)
+            volume = float(vol[p])
+            mss = self._link_mss[p]
+            if self._aqms[p].ecn:
+                self.marked_bytes[p] += volume
+                if self.obs is not None:
+                    self.obs.count(
+                        "link.ecn_marks", max(int(volume / mss), 1)
+                    )
+                    self.obs.event(
+                        "link.mark",
+                        time=float(now_p[p]),
+                        marked_bytes=volume,
+                        queued_bytes=float(queue[p]),
+                    )
+            else:
+                self.aqm_dropped_bytes[p] += volume
+                if self.obs is not None:
+                    self.obs.count(
+                        "link.aqm_drops", max(int(volume / mss), 1)
+                    )
+                    self.obs.count(
+                        "link.dropped_packets",
+                        max(int(volume / mss), 1),
+                    )
+                    self.obs.count("link.dropped_bytes", int(volume))
+                    self.obs.event(
+                        "link.drop",
+                        time=float(now_p[p]),
+                        dropped_bytes=volume,
+                        queued_bytes=float(queue[p]),
+                        aqm=True,
+                    )
+
+        responsive = self._loss_based & (w > 0) & firing_f
+        self._backoff_victims(state, now_p, w, shares, responsive, firing)
+
         solved, _ = self._solve_queue(w)
         np.copyto(
-            queue, np.minimum(solved, self._buffer), where=dropping_pts
+            queue, np.minimum(solved, self._buffer), where=firing
         )
-        if dead.any():
-            np.copyto(queue, self._buffer, where=dead)
         return queue, w
 
     # -- tracing ----------------------------------------------------------

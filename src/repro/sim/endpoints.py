@@ -86,6 +86,7 @@ class Sender:
         self._last_ack_time = start_time
         self._rto_pending = False
         self._highest_acked = -1
+        self._last_ecn_reaction = float("-inf")
 
         loop.call_at(start_time, self._on_start)
 
@@ -185,6 +186,8 @@ class Sender:
             ) / interval
 
         self._detect_losses(ack.seq)
+        if ack.ecn:
+            self._on_ecn_echo(now)
 
         sample = RateSample(
             rtt=rtt,
@@ -204,6 +207,39 @@ class Sender:
                 now, self.flow_id, self.cc, self._in_flight_bytes
             )
         self._maybe_send()
+
+    def _on_ecn_echo(self, now: float) -> None:
+        """React to an ECN-Echo: a congestion event without byte loss.
+
+        Classic ECN semantics (RFC 3168): the sender responds as it
+        would to a loss, at most once per RTT — subsequent CE marks
+        within the same window are new echoes of the same congestion
+        event.  Nothing is retransmitted and no loss is recorded in the
+        flow stats; the controller sees a :class:`LossEvent` with zero
+        lost bytes/packets (rate-based controllers that only react to
+        actual byte loss, like BBR, ignore it by design).
+        """
+        window = self._srtt if self._srtt is not None else MIN_RTO
+        if now - self._last_ecn_reaction < window:
+            return
+        self._last_ecn_reaction = now
+        if self.obs is not None:
+            self.obs.event(
+                "flow.ecn_echo",
+                time=now,
+                flow_id=self.flow_id,
+                cc=self.cc.name,
+            )
+            self.obs.count("flow.ecn_reactions")
+        self.cc.on_loss(
+            LossEvent(
+                lost_bytes=0,
+                in_flight=self._in_flight_bytes,
+                now=now,
+                lost_packets=0,
+            )
+        )
+        self.cc.clamp_cwnd()
 
     def _detect_losses(self, acked_seq: int) -> None:
         """Declare outstanding packets below the ACKed seq lost (gap-based)."""
@@ -327,5 +363,6 @@ class Receiver:
             delivered_time_at_send=packet.delivered_time_at_send,
             app_limited=packet.app_limited,
             recv_time=now,
+            ecn=packet.ecn,
         )
         self.send_ack(ack)

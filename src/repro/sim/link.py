@@ -27,8 +27,17 @@ class LinkStats:
     def __init__(self) -> None:
         self.forwarded_packets = 0
         self.forwarded_bytes = 0
+        # Totals: tail drops + AQM early drops.
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        # AQM early drops alone (tail drops = total − aqm).
+        self.aqm_dropped_packets = 0
+        self.aqm_dropped_bytes = 0
+        # ECN CE marks (marked packets are forwarded, not dropped).
+        self.marked_packets = 0
+        self.marked_bytes = 0
+        # Capacity changes applied by a time-varying trace.
+        self.capacity_changes = 0
         self._occupancy_integral = 0.0
         self._last_change_time = 0.0
         self._last_occupancy = 0
@@ -77,6 +86,9 @@ class Link:
             arriving packets may be dropped early even though the
             physical buffer still has room (the drop-tail limit is still
             enforced on top).
+        ecn: When True, AQM decisions *mark* packets (set the CE bit)
+            instead of dropping them; the drop-tail limit still drops.
+            Requires ``aqm``.
         obs: Optional telemetry bus.  When set, each drop emits a
             ``link.drop`` event and bumps the ``link.dropped_packets`` /
             ``link.dropped_bytes`` counters, and the queue depth is
@@ -99,6 +111,7 @@ class Link:
         deliver: Callable[[Packet], None],
         on_drop: Optional[Callable[[Packet], None]] = None,
         aqm: Optional[object] = None,
+        ecn: bool = False,
         obs: Optional["Telemetry"] = None,
         check: Optional["Checker"] = None,
     ) -> None:
@@ -110,8 +123,11 @@ class Link:
             raise ValueError(
                 f"buffer_bytes must be positive, got {buffer_bytes}"
             )
+        if ecn and aqm is None:
+            raise ValueError("ecn marking requires an aqm discipline")
         self.loop = loop
         self.capacity = capacity
+        self.ecn = ecn
         self.delay = delay
         self.buffer_bytes = buffer_bytes
         self.deliver = deliver
@@ -142,6 +158,26 @@ class Link:
         """Delay a packet arriving now would experience before service."""
         return self._queued_bytes / self.capacity
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change the serialization rate (time-varying capacity traces).
+
+        Applies to the *next* packet entering service; the packet
+        currently serializing finishes at the rate it started with.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats.capacity_changes += 1
+        if self.obs is not None:
+            self.obs.count("link.capacity_changes")
+            self.obs.event(
+                "link.capacity_change",
+                time=self.loop.now,
+                capacity=capacity,
+            )
+        if self.check is not None:
+            self.check.capacity_change(self.loop.now, capacity)
+
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the link; returns False if it was dropped."""
         check = self.check
@@ -150,10 +186,13 @@ class Link:
         if self.aqm is not None and self.aqm.on_enqueue(
             self._queued_bytes
         ):
-            self._record_drop(packet)
-            if check is not None:
-                self._audit(check)
-            return False
+            if self.ecn:
+                self._record_mark(packet)
+            else:
+                self._record_drop(packet, aqm=True)
+                if check is not None:
+                    self._audit(check)
+                return False
         if self._busy:
             if self._queued_bytes + packet.size > self.buffer_bytes:
                 self._record_drop(packet)
@@ -182,23 +221,46 @@ class Link:
             in_service=self._in_service_bytes,
             buffer_bytes=self.buffer_bytes,
             gauge=self.stats._last_occupancy,
+            aqm_dropped=self.stats.aqm_dropped_bytes,
+            marked=self.stats.marked_bytes,
         )
 
-    def _record_drop(self, packet: Packet) -> None:
+    def _record_drop(self, packet: Packet, aqm: bool = False) -> None:
         self.stats.dropped_packets += 1
         self.stats.dropped_bytes += packet.size
+        if aqm:
+            self.stats.aqm_dropped_packets += 1
+            self.stats.aqm_dropped_bytes += packet.size
         if self.obs is not None:
             self.obs.count("link.dropped_packets")
             self.obs.count("link.dropped_bytes", packet.size)
+            if aqm:
+                self.obs.count("link.aqm_drops")
             self.obs.event(
                 "link.drop",
                 time=self.loop.now,
                 flow_id=packet.flow_id,
                 seq=packet.seq,
                 queued_bytes=self._queued_bytes,
+                aqm=aqm,
             )
         if self.on_drop is not None:
             self.on_drop(packet)
+
+    def _record_mark(self, packet: Packet) -> None:
+        """Set the CE bit instead of dropping (ECN-enabled AQM)."""
+        packet.ecn = True
+        self.stats.marked_packets += 1
+        self.stats.marked_bytes += packet.size
+        if self.obs is not None:
+            self.obs.count("link.ecn_marks")
+            self.obs.event(
+                "link.mark",
+                time=self.loop.now,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                queued_bytes=self._queued_bytes,
+            )
 
     def _start_service(self, packet: Packet) -> None:
         self._busy = True
@@ -225,9 +287,13 @@ class Link:
             if self.aqm is not None and self.aqm.on_dequeue(
                 now, now - enqueued_at
             ):
-                # Head drop (CoDel-style): discard and try the next one.
-                self._record_drop(nxt)
-                continue
+                if self.ecn:
+                    # Head mark (CoDel-style CE): forward it marked.
+                    self._record_mark(nxt)
+                else:
+                    # Head drop (CoDel-style): discard, try the next one.
+                    self._record_drop(nxt, aqm=True)
+                    continue
             self._start_service(nxt)
             if check is not None:
                 self._audit(check)

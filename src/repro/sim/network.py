@@ -105,6 +105,11 @@ class DumbbellNetwork:
             §5 "Taming the Zoo" direction).
         codel: Optional :class:`repro.sim.aqm.CoDelConfig` for CoDel at
             the bottleneck.  Mutually exclusive with ``red``.
+            When neither is given, the AQM (and its ECN flag) is derived
+            from ``link.aqm`` — the canonical scenario-schema path; the
+            explicit arguments exist for direct experimentation and
+            override the spec.  A non-constant ``link.capacity_trace``
+            schedules bottleneck capacity changes on the event loop.
         obs: Optional telemetry bus, threaded through the event loop,
             bottleneck link, senders, and congestion controllers.  When
             the bus has a ``sample_interval``, a
@@ -127,7 +132,8 @@ class DumbbellNetwork:
         check: Optional["Checker"] = None,
     ) -> None:
         from repro.check import resolve as resolve_check
-        from repro.sim.aqm import RED, CoDel
+        from repro.scenario import CoDelSpec, REDSpec
+        from repro.sim.aqm import RED, CoDel, CoDelConfig, REDConfig
 
         if not flows:
             raise ValueError("at least one flow is required")
@@ -141,21 +147,54 @@ class DumbbellNetwork:
         self.check = check
         self.loop = EventLoop(obs=obs, check=check)
 
+        # Derive the AQM from the scenario spec unless explicit configs
+        # override it (the legacy direct-experimentation path).
+        ecn = False
+        spec_aqm = getattr(link, "aqm", None)
+        if red is None and codel is None and spec_aqm is not None:
+            if isinstance(spec_aqm, REDSpec):
+                red = REDConfig(
+                    min_threshold=spec_aqm.min_frac * link.buffer_bytes,
+                    max_threshold=spec_aqm.max_frac * link.buffer_bytes,
+                    max_p=spec_aqm.max_p,
+                    weight=spec_aqm.weight,
+                    seed=spec_aqm.seed,
+                )
+                ecn = spec_aqm.ecn
+            elif isinstance(spec_aqm, CoDelSpec):
+                codel = CoDelConfig(
+                    target=spec_aqm.target, interval=spec_aqm.interval
+                )
+                ecn = spec_aqm.ecn
+
         aqm = None
         if red is not None:
             aqm = RED(red)
         elif codel is not None:
             aqm = CoDel(codel)
+        trace = getattr(link, "capacity_trace", None)
+        dynamic = trace is not None and not trace.is_constant
+        initial_scale = trace.scale_at(0.0) if dynamic else 1.0
         self.bottleneck = Link(
             loop=self.loop,
-            capacity=link.capacity,
+            capacity=link.capacity * initial_scale
+            if dynamic
+            else link.capacity,
             delay=0.0,
             buffer_bytes=link.buffer_bytes,
             deliver=self._route_data,
             aqm=aqm,
+            ecn=ecn,
             obs=obs,
             check=check,
         )
+        if dynamic:
+            base = link.capacity
+            for when, scale in trace.change_events():
+                self.loop.call_at(
+                    when,
+                    lambda s=scale: self.bottleneck.set_capacity(base * s),
+                )
 
         self.senders: List[Sender] = []
         self.stats: List[FlowStats] = []

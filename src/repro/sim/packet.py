@@ -19,25 +19,15 @@ from repro.cc.signals import LossEvent, RateSample
 __all__ = ["Packet", "Ack", "RateSample", "LossEvent"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A data segment traversing the dumbbell network.
 
     ``delivered_at_send``/``delivered_time_at_send`` snapshot the sender's
     delivery counter so the ACK can compute a delivery-rate sample, exactly
-    like Linux's ``tcp_rate_skb_sent``.
+    like Linux's ``tcp_rate_skb_sent``.  ``ecn`` is the CE codepoint: an
+    ECN-enabled AQM sets it at the bottleneck instead of dropping.
     """
-
-    __slots__ = (
-        "flow_id",
-        "seq",
-        "size",
-        "sent_time",
-        "delivered_at_send",
-        "delivered_time_at_send",
-        "app_limited",
-        "is_retransmit",
-    )
 
     flow_id: int
     seq: int
@@ -47,27 +37,18 @@ class Packet:
     delivered_time_at_send: float
     app_limited: bool
     is_retransmit: bool
+    ecn: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """Acknowledgement for a single data packet (QUIC-style per-packet ACK).
 
     The receiver echoes the data packet's bookkeeping fields so the sender
     can reconstruct RTT and delivery-rate samples without per-connection
-    state at the receiver.
+    state at the receiver.  ``ecn`` echoes the data packet's CE mark
+    (ECN-Echo).
     """
-
-    __slots__ = (
-        "flow_id",
-        "seq",
-        "size",
-        "data_sent_time",
-        "delivered_at_send",
-        "delivered_time_at_send",
-        "app_limited",
-        "recv_time",
-    )
 
     flow_id: int
     seq: int
@@ -77,3 +58,4 @@ class Ack:
     delivered_time_at_send: float
     app_limited: bool
     recv_time: float
+    ecn: bool = False

@@ -1,112 +1,20 @@
-"""Bottleneck link configuration shared by models and simulators.
+"""Bottleneck link configuration — compatibility alias.
 
-Every experiment in the paper is parameterized by the same three quantities:
-the bottleneck capacity ``C``, the base (propagation) round-trip time
-``RTT``, and the drop-tail buffer size ``B`` expressed as a multiple of the
-bandwidth-delay product (BDP).  :class:`LinkConfig` captures that triple once
-so the analytical model, the packet simulator, and the fluid simulator all
-agree on derived quantities such as the BDP in bytes.
+The canonical scenario schema now lives in :mod:`repro.scenario`:
+:class:`~repro.scenario.BottleneckSpec` carries capacity/RTT/buffer/MSS
+plus the AQM discipline and capacity trace.  ``LinkConfig`` remains the
+historical name for the drop-tail/constant special case — it *is*
+``BottleneckSpec`` (default AQM/trace), so existing four-field
+constructor calls, ``from_mbps_ms``, and every derived property keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from repro.scenario.spec import BottleneckSpec
 
-from repro.util.units import MSS_BYTES, mbps_to_bytes_per_sec, ms_to_s
+#: Historical alias; constructing ``LinkConfig(capacity, rtt, buffer_bdp)``
+#: yields the drop-tail/constant-capacity bottleneck the paper studies.
+LinkConfig = BottleneckSpec
 
-
-@dataclass(frozen=True)
-class LinkConfig:
-    """A single drop-tail bottleneck, as in Figure 2 of the paper.
-
-    Attributes:
-        capacity: Link capacity in bytes per second.
-        rtt: Base (congestion-free) round-trip propagation delay in seconds.
-        buffer_bdp: Drop-tail buffer size as a multiple of the BDP.
-        mss: Segment size in bytes, used when the buffer is counted in
-            packets (e.g. by the Ware et al. model).
-    """
-
-    capacity: float
-    rtt: float
-    buffer_bdp: float
-    mss: int = MSS_BYTES
-
-    def __post_init__(self) -> None:
-        if self.capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {self.capacity}")
-        if self.rtt <= 0:
-            raise ValueError(f"rtt must be positive, got {self.rtt}")
-        if self.buffer_bdp <= 0:
-            raise ValueError(
-                f"buffer_bdp must be positive, got {self.buffer_bdp}"
-            )
-        if self.mss <= 0:
-            raise ValueError(f"mss must be positive, got {self.mss}")
-
-    @classmethod
-    def from_mbps_ms(
-        cls,
-        capacity_mbps: float,
-        rtt_ms: float,
-        buffer_bdp: float,
-        mss: int = MSS_BYTES,
-    ) -> "LinkConfig":
-        """Build a config from the units used in the paper's figures."""
-        return cls(
-            capacity=mbps_to_bytes_per_sec(capacity_mbps),
-            rtt=ms_to_s(rtt_ms),
-            buffer_bdp=buffer_bdp,
-            mss=mss,
-        )
-
-    @property
-    def bdp_bytes(self) -> float:
-        """Bandwidth-delay product ``C × RTT`` in bytes."""
-        return self.capacity * self.rtt
-
-    @property
-    def bdp_packets(self) -> float:
-        """BDP in MSS-sized packets."""
-        return self.bdp_bytes / self.mss
-
-    @property
-    def buffer_bytes(self) -> float:
-        """Absolute buffer size ``B`` in bytes."""
-        return self.buffer_bdp * self.bdp_bytes
-
-    @property
-    def buffer_packets(self) -> float:
-        """Buffer size in MSS-sized packets (``q`` in Ware et al.)."""
-        return self.buffer_bytes / self.mss
-
-    @property
-    def capacity_mbps(self) -> float:
-        """Link capacity in Mbps, for reporting."""
-        return self.capacity * 8.0 / 1e6
-
-    @property
-    def rtt_ms(self) -> float:
-        """Base RTT in milliseconds, for reporting."""
-        return self.rtt * 1e3
-
-    @property
-    def max_queuing_delay(self) -> float:
-        """Worst-case queuing delay ``B / C`` in seconds (full buffer)."""
-        return self.buffer_bytes / self.capacity
-
-    def with_buffer_bdp(self, buffer_bdp: float) -> "LinkConfig":
-        """Return a copy with a different buffer depth (for sweeps)."""
-        return replace(self, buffer_bdp=buffer_bdp)
-
-    def with_rtt(self, rtt: float) -> "LinkConfig":
-        """Return a copy with a different base RTT in seconds."""
-        return replace(self, rtt=rtt)
-
-    def describe(self) -> str:
-        """One-line human-readable summary used by the CLI."""
-        return (
-            f"{self.capacity_mbps:g} Mbps, {self.rtt_ms:g} ms RTT, "
-            f"{self.buffer_bdp:g} BDP buffer "
-            f"({self.buffer_packets:.0f} packets)"
-        )
+__all__ = ["LinkConfig"]

@@ -531,3 +531,139 @@ def test_bundled_specs_all_validate():
     for path in specs:
         spec = load_spec(path)
         assert expand_units(spec)
+
+
+# -- scenario axes (aqm / ecn / capacity_trace) ------------------------------
+
+
+def test_aqm_axis_resolves_unit_links():
+    spec = _spec(
+        axes=[{"name": "aqm", "values": ["droptail", "red", "codel"]}],
+    )
+    units = expand_units(spec)
+    assert [u.link.scenario_family for u in units] == [
+        "droptail",
+        "red",
+        "codel",
+    ]
+    assert [u.combo_dict()["aqm"] for u in units] == [
+        "droptail",
+        "red",
+        "codel",
+    ]
+    # The drop-tail row keeps the base link's exact identity (and
+    # therefore its historical cache fingerprint).
+    assert units[0].link == spec.link
+
+
+def test_ecn_axis_toggles_marking():
+    spec = _spec(
+        axes=[
+            {"name": "aqm", "values": ["red"]},
+            {"name": "ecn", "values": [False, True]},
+        ],
+    )
+    units = expand_units(spec)
+    assert [u.link.aqm.ecn for u in units] == [False, True]
+    assert units[0].unit_id() != units[1].unit_id()
+
+
+def test_capacity_trace_axis_resolves_unit_links():
+    spec = _spec(
+        axes=[
+            {"name": "capacity_trace", "values": ["constant", "steps:2@0.5"]},
+        ],
+    )
+    units = expand_units(spec)
+    assert units[0].link.capacity_trace.is_constant
+    assert not units[1].link.capacity_trace.is_constant
+    assert units[0].combo_dict()["capacity_trace"] == "constant"
+
+
+def test_scenario_axes_compose_with_buffer_sweep():
+    spec = _spec(
+        axes=[
+            {"name": "aqm", "values": ["red"]},
+            {"name": "buffer_bdp", "values": [1, 2]},
+        ],
+    )
+    units = expand_units(spec)
+    assert all(u.link.scenario_family == "red" for u in units)
+    assert [u.link.buffer_bdp for u in units] == [1, 2]
+
+
+def test_bad_aqm_axis_value_is_a_spec_error():
+    with pytest.raises(SpecError, match="aqm must be one of"):
+        _spec(axes=[{"name": "aqm", "values": ["pie"]}])
+    with pytest.raises(SpecError, match="capacity trace"):
+        _spec(axes=[{"name": "capacity_trace", "values": ["ramp:1"]}])
+    with pytest.raises(SpecError, match="expected a boolean"):
+        _spec(axes=[{"name": "ecn", "values": [1]}])
+
+
+def test_ecn_axis_without_aqm_is_a_spec_error():
+    spec = _spec(axes=[{"name": "ecn", "values": [True]}])
+    with pytest.raises(SpecError, match="ECN marking requires an AQM"):
+        expand_units(spec)
+
+
+# -- model-error report ------------------------------------------------------
+
+
+def _report_spec(**overrides):
+    data = json.loads(json.dumps(BASE))
+    data["defaults"]["duration"] = 4.0
+    data["axes"] = [
+        {"name": "aqm", "values": ["droptail", "red"]},
+        {"name": "backend", "values": ["fluid", "fluid-vec"]},
+    ]
+    data["metrics"] = {
+        "columns": [
+            "aggregate_mbps:cubic",
+            "aggregate_mbps:bbr",
+            "drop_rate",
+        ]
+    }
+    data.update(overrides)
+    return parse_spec(data)
+
+
+def test_model_error_report_scores_backend_pairs(tmp_path):
+    from repro.campaign import model_error_report
+
+    spec = _report_spec()
+    run_campaign(spec, tmp_path / "out", engine=_engine(tmp_path))
+    report = model_error_report(
+        tmp_path / "out", reference="fluid", share_cc="bbr"
+    )
+    # fluid-vec is bitwise-identical to fluid, so every paired row
+    # scores exactly zero model error.
+    assert len(report.rows) == 2  # One non-reference row per aqm family.
+    assert all(row.error == 0.0 for row in report.rows)
+    assert sorted(report.families()) == ["droptail", "red"]
+    assert report.csv_path.exists()
+    text = report.csv_path.read_text()
+    assert text.splitlines()[0] == (
+        "aqm,backend,bbr_share,bbr_share_ref,model_error"
+    )
+    assert "model error" in report.render()
+
+
+def test_model_error_report_requires_compare_axis(tmp_path):
+    spec = _spec()  # buffer_bdp sweep only, no backend axis.
+    run_campaign(spec, tmp_path / "out", engine=_engine(tmp_path))
+    with pytest.raises(CampaignError, match="does not sweep"):
+        from repro.campaign import model_error_report
+
+        model_error_report(tmp_path / "out")
+
+
+def test_model_error_report_requires_share_metric(tmp_path):
+    spec = _report_spec(
+        metrics={"columns": ["per_flow_mbps:bbr", "drop_rate"]},
+    )
+    run_campaign(spec, tmp_path / "out", engine=_engine(tmp_path))
+    with pytest.raises(CampaignError, match="aggregate_mbps:bbr"):
+        from repro.campaign import model_error_report
+
+        model_error_report(tmp_path / "out", reference="fluid")

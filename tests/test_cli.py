@@ -826,3 +826,182 @@ def test_top_midrun_journal_renders_finite_eta(
 def test_top_rejects_non_campaign_dir(tmp_path, capsys):
     assert main(["top", str(tmp_path), "--once"]) == 2
     assert "campaign error" in capsys.readouterr().err
+
+
+# -- scenario flags (--aqm / --ecn / --capacity-trace) ----------------------
+
+
+def test_simulate_with_red_aqm(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "bbr:1",
+            "--mbps",
+            "20",
+            "--duration",
+            "10",
+            "--backend",
+            "fluid",
+            "--aqm",
+            "red",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cubic" in out and "bbr" in out
+
+
+def test_simulate_with_codel_ecn(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "10",
+            "--duration",
+            "8",
+            "--backend",
+            "fluid",
+            "--aqm",
+            "codel",
+            "--ecn",
+        ]
+    )
+    assert code == 0
+
+
+def test_simulate_with_capacity_trace(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "10",
+            "--duration",
+            "8",
+            "--backend",
+            "fluid-vec",
+            "--capacity-trace",
+            "steps:2@0.5,4@1.0",
+        ]
+    )
+    assert code == 0
+
+
+def test_simulate_ecn_without_aqm_is_an_error(capsys):
+    code = main(
+        ["simulate", "cubic:1", "--mbps", "10", "--duration", "5", "--ecn"]
+    )
+    assert code == 2
+    assert "bad scenario" in capsys.readouterr().err
+
+
+def test_simulate_bad_capacity_trace_is_an_error(capsys):
+    code = main(
+        [
+            "simulate",
+            "cubic:1",
+            "--mbps",
+            "10",
+            "--duration",
+            "5",
+            "--capacity-trace",
+            "ramp:1",
+        ]
+    )
+    assert code == 2
+    assert "bad scenario" in capsys.readouterr().err
+
+
+def test_campaign_run_scenario_override_freezes_spec(tmp_path, capsys):
+    import json as _json
+
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec),
+            "--out",
+            str(out_dir),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--aqm",
+            "red",
+        ]
+    )
+    assert code == 0
+    frozen = _json.loads((out_dir / "spec.json").read_text())
+    # The override lands in the frozen spec, so resume reruns the same
+    # scenario even without the flag.
+    assert frozen["spec"]["link"]["aqm"]["kind"] == "red"
+
+
+REPORT_SPEC = """\
+name = "cli-report"
+[link]
+bandwidth_mbps = 20.0
+rtt_ms = 20.0
+buffer_bdp = 1.5
+[defaults]
+duration = 4.0
+backend = "fluid"
+mix = "cubic:1,bbr:1"
+[[axes]]
+name = "aqm"
+values = ["droptail", "red"]
+[[axes]]
+name = "backend"
+values = ["fluid", "fluid-vec"]
+[metrics]
+columns = ["aggregate_mbps:cubic", "aggregate_mbps:bbr", "drop_rate"]
+"""
+
+
+def test_campaign_report_cli(tmp_path, capsys):
+    spec = tmp_path / "report.toml"
+    spec.write_text(REPORT_SPEC)
+    out_dir = tmp_path / "camp"
+    assert (
+        main(
+            [
+                "campaign",
+                "run",
+                str(spec),
+                "--out",
+                str(out_dir),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        == 0
+    )
+    code = main(
+        ["campaign", "report", str(out_dir), "--reference", "fluid"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "model error" in out
+    assert "wrote" in out
+    assert (out_dir / "model_error.csv").exists()
+
+
+def test_campaign_report_without_compare_axis(tmp_path, capsys):
+    spec = _write_smoke_spec(tmp_path)
+    out_dir = tmp_path / "camp"
+    main(
+        [
+            "campaign",
+            "run",
+            str(spec),
+            "--out",
+            str(out_dir),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["campaign", "report", str(out_dir)]) == 2
+    assert "does not sweep" in capsys.readouterr().err
