@@ -21,8 +21,16 @@ from repro.campaign.run import (
     CampaignSummary,
     UnitOutcome,
     execute_units,
+    iter_units,
     load_campaign,
     run_campaign,
+)
+from repro.campaign.sink import (
+    CampaignSink,
+    CsvSink,
+    JsonlSink,
+    SinkError,
+    resolve_artifact,
 )
 from repro.campaign.spec import (
     Axis,
@@ -44,13 +52,17 @@ from repro.campaign.studies import (
 __all__ = [
     "Axis",
     "CampaignError",
+    "CampaignSink",
     "CampaignSpec",
     "CampaignSummary",
+    "CsvSink",
     "ErrorRow",
     "Journal",
     "JournalError",
     "JournalRecord",
+    "JsonlSink",
     "ModelErrorReport",
+    "SinkError",
     "SpecError",
     "Stage",
     "Unit",
@@ -63,11 +75,13 @@ __all__ = [
     "expand_units",
     "fig9_campaign",
     "format_mix",
+    "iter_units",
     "list_bundled_campaigns",
     "load_campaign",
     "load_spec",
     "model_error_report",
     "parse_mix",
     "parse_spec",
+    "resolve_artifact",
     "run_campaign",
 ]

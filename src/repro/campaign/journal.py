@@ -15,6 +15,13 @@ Rows are serialized without key sorting.  Insertion order is the CSV
 column order, and JSON round-trips floats exactly, so a campaign
 finished from a journal writes a byte-identical CSV to one that never
 stopped.
+
+Reading is streaming: :meth:`Journal.iter_records` yields one record at
+a time from an open handle, so resume/status/``top`` over a million-unit
+journal never materialize the whole file (:meth:`Journal.load` is the
+small-campaign convenience that collects the stream into a list).
+Reads are gzip-transparent — an archived ``journal.jsonl.gz`` resolves
+wherever the plain name would.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import __version__
+from repro.obs.export import open_maybe_gzip
 
 __all__ = ["Journal", "JournalError", "JournalRecord"]
 
@@ -69,10 +77,19 @@ class Journal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        #: Validated header of the last (streaming) read.
+        self._header: Optional[Dict[str, Any]] = None
 
     @classmethod
     def in_dir(cls, out_dir: Union[str, Path]) -> "Journal":
-        return cls(Path(out_dir) / JOURNAL_NAME)
+        """The directory's journal; an archived ``.gz`` one resolves
+        when (and only when) the plain file is absent."""
+        path = Path(out_dir) / JOURNAL_NAME
+        if not path.exists():
+            gz = Path(str(path) + ".gz")
+            if gz.exists():
+                return cls(gz)
+        return cls(path)
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -107,7 +124,7 @@ class Journal:
         re-run on resume a cache hit, not a re-simulation.
         """
         line = record.to_line()
-        with open(self.path, "a", encoding="utf-8") as handle:
+        with open_maybe_gzip(str(self.path), "a") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -115,48 +132,62 @@ class Journal:
     # -- reading -----------------------------------------------------------
 
     def _lines(self) -> Iterator[Tuple[int, str]]:
+        """Stream non-blank ``(line number, line)`` pairs from disk."""
         try:
-            text = self.path.read_text(encoding="utf-8")
+            handle = open_maybe_gzip(str(self.path), "r")
         except FileNotFoundError:
             raise JournalError(
                 f"{self.path}: no checkpoint journal found"
             ) from None
         except OSError as exc:
             raise JournalError(f"{self.path}: cannot read journal: {exc}")
-        for number, line in enumerate(text.splitlines(), start=1):
-            if line.strip():
-                yield number, line
+        with handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.rstrip("\r\n")
+                if line.strip():
+                    yield number, line
 
-    def load(
+    def read_header(
         self, expect_fingerprint: Optional[str] = None
-    ) -> Tuple[Dict[str, Any], List[JournalRecord]]:
-        """Parse the journal into ``(header, completed records)``.
+    ) -> Dict[str, Any]:
+        """Parse and validate the header line only (no record scan)."""
+        next(self.iter_records(expect_fingerprint), None)
+        return self._header  # type: ignore[return-value]
 
-        A final line that fails to decode is treated as the torn write
-        of a killed process and dropped; anything malformed before the
-        end raises :class:`JournalError`.  When ``expect_fingerprint``
-        is given, a header mismatch fails loudly — resuming a directory
-        with a *different* spec would silently mix studies.
+    def iter_records(
+        self, expect_fingerprint: Optional[str] = None
+    ) -> Iterator[JournalRecord]:
+        """Stream completed-unit records row-at-a-time.
+
+        Memory stays flat no matter how long the journal is — this is
+        what resume, ``status``, and ``top`` consume.  A final line
+        that fails to decode is treated as the torn write of a killed
+        process and dropped; anything malformed before the end raises
+        :class:`JournalError`.  When ``expect_fingerprint`` is given, a
+        header mismatch fails loudly — resuming a directory with a
+        *different* spec would silently mix studies.  The validated
+        header is kept on ``self._header`` for :meth:`load`.
         """
-        entries = list(self._lines())
-        if not entries:
+        lines = self._lines()
+        first = next(lines, None)
+        if first is None:
             raise JournalError(f"{self.path}: journal is empty")
-        parsed: List[Tuple[int, Dict[str, Any]]] = []
-        for position, (number, line) in enumerate(entries):
-            try:
-                data = json.loads(line)
-                if not isinstance(data, dict):
-                    raise ValueError("not an object")
-            except ValueError as exc:
-                if position == len(entries) - 1:
-                    break  # Torn trailing write from a killed run.
+        number, line = first
+        torn: Optional[JournalError] = None
+        try:
+            header = json.loads(line)
+            if not isinstance(header, dict):
+                raise ValueError("not an object")
+        except ValueError as exc:
+            # A torn *final* line is tolerated; if anything follows,
+            # the damage is mid-file and must be surfaced.
+            if next(lines, None) is not None:
                 raise JournalError(
                     f"{self.path}:{number}: corrupt journal line: {exc}"
                 ) from None
-            parsed.append((number, data))
-        if not parsed:
-            raise JournalError(f"{self.path}: journal has no valid header")
-        number, header = parsed[0]
+            raise JournalError(
+                f"{self.path}: journal has no valid header"
+            ) from None
         if header.get("kind") != "campaign":
             raise JournalError(
                 f"{self.path}:{number}: first line is not a campaign header"
@@ -175,8 +206,19 @@ class Journal:
                 f"spec (fingerprint {header.get('fingerprint')!r}); "
                 "refusing to mix studies"
             )
-        records: List[JournalRecord] = []
-        for number, data in parsed[1:]:
+        self._header = header
+        for number, line in lines:
+            if torn is not None:
+                raise torn  # The bad line was not the last one.
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("not an object")
+            except ValueError as exc:
+                torn = JournalError(
+                    f"{self.path}:{number}: corrupt journal line: {exc}"
+                )
+                continue
             if data.get("kind") != "unit":
                 raise JournalError(
                     f"{self.path}:{number}: unexpected record kind "
@@ -198,5 +240,16 @@ class Journal:
                 raise JournalError(
                     f"{self.path}:{number}: malformed unit record: {exc}"
                 ) from None
-            records.append(record)
-        return header, records
+            yield record
+
+    def load(
+        self, expect_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], List[JournalRecord]]:
+        """Parse the whole journal into ``(header, completed records)``.
+
+        The list-building convenience over :meth:`iter_records` — fine
+        for tests and small campaigns; streaming callers should consume
+        the iterator directly.
+        """
+        records = list(self.iter_records(expect_fingerprint))
+        return self._header, records

@@ -21,9 +21,11 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.campaign.run import CampaignError, load_campaign
+from repro.campaign.sink import resolve_artifact
+from repro.obs.export import open_maybe_gzip
 
 #: Metric prefix whose per-CC columns define the share denominator.
 SHARE_METRIC = "aggregate_mbps"
@@ -79,16 +81,29 @@ class ModelErrorReport:
         return "\n".join(lines)
 
 
-def _read_results(out_dir: str, csv_name: str) -> List[Dict[str, str]]:
-    path = Path(out_dir) / csv_name
+def _iter_results(
+    out_dir: str, csv_name: str
+) -> Iterator[Dict[str, str]]:
+    """Stream result rows one at a time (gzip-transparent).
+
+    Archived campaigns keep ``results.csv.gz``; either spelling
+    resolves.  The whole file is never held in memory — the report
+    aggregation is incremental, so scoring a million-row campaign
+    stays flat.
+    """
+    nominal = Path(out_dir) / csv_name
+    path = resolve_artifact(nominal) or nominal
     try:
-        text = path.read_text(encoding="utf-8")
+        handle = open_maybe_gzip(str(path), "r")
     except OSError as exc:
         raise CampaignError(f"cannot read {path}: {exc}") from None
-    rows = list(csv.DictReader(text.splitlines()))
-    if not rows:
+    seen = 0
+    with handle:
+        for row in csv.DictReader(handle):
+            seen += 1
+            yield row
+    if not seen:
         raise CampaignError(f"{path}: no result rows")
-    return rows
 
 
 def _share(row: Dict[str, str], share_cols: Sequence[str], cc: str) -> float:
@@ -141,11 +156,10 @@ def model_error_report(
             f"{SHARE_METRIC}:{share_cc}; add it to [metrics] columns"
         )
     axis_names = [axis.name for axis in spec.axes]
-    results = _read_results(out_dir, spec.csv_name)
 
     by_group: Dict[Tuple[Tuple[str, str], ...], Dict[str, float]] = {}
     order: List[Tuple[Tuple[str, str], ...]] = []
-    for row in results:
+    for row in _iter_results(out_dir, spec.csv_name):
         backend = row.get(compare, "")
         group = tuple(
             (name, row.get(name, ""))

@@ -4,7 +4,7 @@
 
     <out>/spec.json       frozen copy of the validated spec + fingerprint
     <out>/journal.jsonl   checkpoint journal (one line per finished unit)
-    <out>/<csv>           final derived-metric table (insertion-ordered)
+    <out>/<csv>           derived-metric table, streamed unit-by-unit
     <out>/manifest.json   campaign manifest (repro.obs)
 
 Execution streams through :meth:`repro.exec.Engine.iter_points` for
@@ -20,9 +20,23 @@ resumed with ``repro-bbr campaign resume`` replays the journal, submits
 only the missing units, and (because in-flight results were already in
 the result cache) re-simulates nothing.
 
-Output rows are assembled in *unit order*, not completion order, so an
+Result aggregation is *streaming* (see :mod:`repro.campaign.sink`):
+:func:`iter_units` is a generator yielding each newly executed
+:class:`UnitOutcome` exactly once, and :func:`run_campaign` pipes the
+stream through a :class:`~repro.campaign.sink.CampaignSink` that
+appends rows to the CSV (and optional JSONL mirror) the moment each
+unit's journal record is durable, then drops them.  Peak memory is
+therefore independent of campaign size — the "millions of cells" grid
+sweeps the ROADMAP calls for run in bounded memory, and a crash loses
+at most the unflushed tail of the CSV, never the file.
+
+Output rows are assembled in *unit order*, not completion order (the
+sink reorders the bounded out-of-order frontier), so an
 interrupted-and-resumed campaign writes a byte-identical CSV to an
-uninterrupted one.
+uninterrupted one: resume rebuilds the partial CSV from the journal —
+the authoritative record — before continuing, which reconciles every
+kill window, including a kill between a journal fsync and the
+corresponding CSV flush.
 
 Observability (see ``docs/OBSERVABILITY.md``): when a tracer is active
 (:mod:`repro.obs.trace`), the run is bracketed by a ``campaign`` span
@@ -52,10 +66,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from threading import Lock
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.campaign.expand import Unit, expand_units
 from repro.campaign.journal import Journal, JournalError, JournalRecord
+from repro.campaign.sink import CampaignSink, CsvSink, JsonlSink
 from repro.campaign.spec import CampaignSpec, parse_spec
 from repro.exec.engine import Engine, resolve as resolve_engine
 from repro.obs.progress import PROGRESS_NAME, ProgressTracker
@@ -66,6 +91,7 @@ __all__ = [
     "CampaignSummary",
     "UnitOutcome",
     "execute_units",
+    "iter_units",
     "load_campaign",
     "run_campaign",
 ]
@@ -76,6 +102,7 @@ def _span(tracer: Any, name: str, **args: Any):
     if tracer is None:
         return nullcontext()
     return tracer.span(name, cat="campaign", **args)
+
 
 SPEC_NAME = "spec.json"
 MANIFEST_NAME = "manifest.json"
@@ -261,54 +288,46 @@ def _merge_error_map(path: Path, error_map: Any) -> None:
 # -- execution ---------------------------------------------------------------
 
 
-def execute_units(
+def iter_units(
     spec: CampaignSpec,
     units: List[Unit],
     engine: Optional[Engine] = None,
-    completed: Optional[Dict[str, JournalRecord]] = None,
+    skip: Optional[Collection[str]] = None,
     on_unit: Optional[Callable[[UnitOutcome], None]] = None,
     stop_after: Optional[int] = None,
     artifacts_dir: Optional[Union[str, Path]] = None,
-) -> Tuple[List[UnitOutcome], bool]:
-    """Resolve every unit, replaying ``completed`` journal records.
+) -> Iterator[UnitOutcome]:
+    """Execute every unit not in ``skip``, yielding outcomes as they
+    finish.
 
-    ``on_unit`` fires once per *newly executed* unit, in completion
-    order, before the next unit starts — the journaling hook.
-    ``stop_after`` stops cleanly after that many new executions (the
-    deterministic stand-in for a killed campaign, used by tests and the
-    CI smoke job); the second element of the return value reports
-    whether the run stopped early.  Outcomes are returned in unit
-    order regardless of completion order.
+    This is the streaming core of the campaign layer: each newly
+    executed :class:`UnitOutcome` is yielded exactly once, in
+    completion order, and nothing is retained afterwards — consumers
+    that drop each outcome after use (the journaling/sink pipeline in
+    :func:`run_campaign`) run in memory independent of campaign size.
+
+    ``on_unit`` fires once per unit, before it is yielded and before
+    the next unit starts — the journaling hook.  ``stop_after`` stops
+    cleanly after that many new executions (the deterministic stand-in
+    for a killed campaign, used by tests and the CI smoke job); the
+    generator's return value (``StopIteration.value``) is True when the
+    run stopped early.
 
     Adaptive and population stages run their units concurrently
     (threads feeding the engine's shared worker pool) when
     ``engine.jobs > 1`` — except under ``stop_after``, whose exactly-N
-    contract requires sequential execution.  ``on_unit`` is serialized
-    under a lock either way.  ``artifacts_dir``, when given, receives
-    the merged population error map (``error_map.json``), folded in as
-    each population unit finishes — before its journal record — so an
-    interrupted campaign keeps the calibrations it already paid for.
+    contract requires sequential execution.  Outcomes are always
+    yielded (and ``on_unit`` fired) from the calling thread.
+    ``artifacts_dir``, when given, receives the merged population error
+    map (``error_map.json``), folded in as each population unit
+    finishes — before its journal record — so an interrupted campaign
+    keeps the calibrations it already paid for.
     """
     eng = resolve_engine(engine)
     tracer = resolve_tracer(None)
-    completed = completed or {}
-    outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
+    skip = frozenset(skip) if skip else frozenset()
     executed = 0
     interrupted = False
-    record_lock = Lock()
-
-    def record(outcome: UnitOutcome) -> bool:
-        """Account one new execution; False means stop now."""
-        nonlocal executed, interrupted
-        with record_lock:
-            outcomes[outcome.index] = outcome
-            executed += 1
-            if on_unit is not None:
-                on_unit(outcome)
-            if stop_after is not None and executed >= stop_after:
-                interrupted = True
-                return False
-            return True
 
     todo: List[Unit] = []
     for position, unit in enumerate(units):
@@ -316,18 +335,17 @@ def execute_units(
             raise CampaignError(
                 f"unit list is not in index order at position {position}"
             )
-        replay = completed.get(unit.unit_id())
-        if replay is not None:
-            outcomes[position] = UnitOutcome(
-                unit_id=replay.unit_id,
-                index=unit.index,
-                stage=unit.stage,
-                rows=replay.rows,
-                wall_s=replay.wall_s,
-                from_journal=True,
-            )
-        else:
+        if unit.unit_id() not in skip:
             todo.append(unit)
+
+    def finish(outcome: UnitOutcome) -> None:
+        """Account one new execution (journal hook + stop check)."""
+        nonlocal executed, interrupted
+        executed += 1
+        if on_unit is not None:
+            on_unit(outcome)
+        if stop_after is not None and executed >= stop_after:
+            interrupted = True
 
     def adaptive_outcome(unit: Unit) -> UnitOutcome:
         with _span(tracer, "unit", unit=unit.unit_id()):
@@ -383,7 +401,9 @@ def execute_units(
                         wall_s=wall,
                         from_journal=False,
                     )
-                    if not record(outcome):
+                    finish(outcome)
+                    yield outcome
+                    if interrupted:
                         break
                 continue
             # Adaptive and population units: independent computations.
@@ -402,7 +422,10 @@ def execute_units(
             )
             if threads <= 1:
                 for unit in stage_units:
-                    if not record(runner(unit)):
+                    outcome = runner(unit)
+                    finish(outcome)
+                    yield outcome
+                    if interrupted:
                         break
             else:
                 with ThreadPoolExecutor(max_workers=threads) as pool:
@@ -411,8 +434,72 @@ def execute_units(
                         for unit in stage_units
                     ]
                     for future in as_completed(futures):
-                        record(future.result())
+                        outcome = future.result()
+                        finish(outcome)
+                        yield outcome
+    return interrupted
 
+
+def _drain(stream: Iterator[UnitOutcome]) -> Tuple[int, bool]:
+    """Run an :func:`iter_units` stream to completion, retaining
+    nothing; returns ``(units executed, interrupted)``."""
+    executed = 0
+    while True:
+        try:
+            next(stream)
+        except StopIteration as stop:
+            return executed, bool(stop.value)
+        executed += 1
+
+
+def execute_units(
+    spec: CampaignSpec,
+    units: List[Unit],
+    engine: Optional[Engine] = None,
+    completed: Optional[Dict[str, JournalRecord]] = None,
+    on_unit: Optional[Callable[[UnitOutcome], None]] = None,
+    stop_after: Optional[int] = None,
+    artifacts_dir: Optional[Union[str, Path]] = None,
+) -> Tuple[List[UnitOutcome], bool]:
+    """Collecting convenience over :func:`iter_units`.
+
+    Replays ``completed`` journal records as ``from_journal`` outcomes,
+    executes the rest, and returns every outcome in unit order plus the
+    interruption flag.  This materializes the full outcome list —
+    fine for figure-sized studies and tests; large campaigns must
+    consume :func:`iter_units` (as :func:`run_campaign` does) so rows
+    stream to disk instead of accumulating.
+    """
+    completed = completed or {}
+    outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
+    for unit in units:
+        replay = completed.get(unit.unit_id())
+        if replay is not None:
+            outcomes[unit.index] = UnitOutcome(
+                unit_id=replay.unit_id,
+                index=unit.index,
+                stage=unit.stage,
+                rows=replay.rows,
+                wall_s=replay.wall_s,
+                from_journal=True,
+            )
+    stream = iter_units(
+        spec,
+        units,
+        engine=engine,
+        skip=set(completed),
+        on_unit=on_unit,
+        stop_after=stop_after,
+        artifacts_dir=artifacts_dir,
+    )
+    interrupted = False
+    while True:
+        try:
+            outcome = next(stream)
+        except StopIteration as stop:
+            interrupted = bool(stop.value)
+            break
+        outcomes[outcome.index] = outcome
     if interrupted:
         return [o for o in outcomes if o is not None], True
     missing = [i for i, o in enumerate(outcomes) if o is None]
@@ -505,10 +592,14 @@ def run_campaign(
     journal = Journal.in_dir(out)
     fingerprint = spec.fingerprint()
 
-    completed: Dict[str, JournalRecord] = {}
+    # Pass 1 over the journal (streaming): the completed-unit id set and
+    # per-stage tallies — ids only, rows are not retained.
+    completed_ids: set = set()
+    stage_done: Dict[str, int] = {}
     if resume:
-        header, records = journal.load(expect_fingerprint=fingerprint)
-        completed = {record.unit_id: record for record in records}
+        for record in journal.iter_records(expect_fingerprint=fingerprint):
+            completed_ids.add(record.unit_id)
+            stage_done[record.stage] = stage_done.get(record.stage, 0) + 1
     else:
         if journal.exists():
             raise CampaignError(
@@ -519,12 +610,28 @@ def run_campaign(
         journal.create(spec.name, fingerprint)
 
     units = expand_units(spec)
-    unknown = set(completed) - {unit.unit_id() for unit in units}
+    unknown = completed_ids - {unit.unit_id() for unit in units}
     if unknown:
         raise JournalError(
             f"{journal.path}: {len(unknown)} journaled unit(s) do not "
             "match the spec expansion; refusing to mix studies"
         )
+
+    sink = CampaignSink(
+        CsvSink(out / spec.csv_name),
+        JsonlSink(out / spec.jsonl_name) if spec.jsonl_name else None,
+    )
+    if resume:
+        # Pass 2: rebuild the partial CSV from the journal, row-at-a-
+        # time.  The journal is the authoritative record; whatever
+        # partial CSV the killed run left behind (possibly missing its
+        # last flush, or torn mid-row) is truncated and rewritten up to
+        # exactly the journaled unit boundary, so every kill window —
+        # including a kill between the journal fsync and the CSV flush —
+        # converges to the same bytes.
+        for record in journal.iter_records(expect_fingerprint=fingerprint):
+            sink.add(record.index, record.rows)
+        sink.flush()
 
     eng = resolve_engine(engine)
     tracer = resolve_tracer(None)
@@ -533,18 +640,16 @@ def run_campaign(
     )
     sidecar = out / PROGRESS_NAME
 
-    # Per-stage done/total, seeded with the replayed journal records.
+    # Per-stage totals; done counts were seeded by journal pass 1.
     stage_total: Dict[str, int] = {}
-    stage_done: Dict[str, int] = {}
     for unit in units:
         stage_total[unit.stage] = stage_total.get(unit.stage, 0) + 1
-    for unit_id in completed:
-        stage = completed[unit_id].stage
-        stage_done[stage] = stage_done.get(stage, 0) + 1
-    done_units = len(completed)
+    done_units = len(completed_ids)
+    from_journal = len(completed_ids)
     for stage, total in stage_total.items():
         tracker.stage_progress(stage, stage_done.get(stage, 0), total)
     tracker.update(done_units, len(units), eng.hits)
+    tracker.set_rows(sink.rows_seen)
     tracker.write_sidecar(str(sidecar))
 
     def journal_unit(outcome: UnitOutcome) -> None:
@@ -559,6 +664,11 @@ def run_campaign(
                     wall_s=outcome.wall_s,
                 )
             )
+        # The unit is now committed (journal fsync-ed); stream its rows
+        # to the sink and drop them.  The CSV flush trails the journal
+        # by design — resume rebuilds the CSV from the journal.
+        sink.add(outcome.index, outcome.rows)
+        sink.flush()
         done_units += 1
         stage_done[outcome.stage] = stage_done.get(outcome.stage, 0) + 1
         tracker.stage_progress(
@@ -567,6 +677,7 @@ def run_campaign(
             stage_total.get(outcome.stage, 0),
         )
         tracker.update(done_units, len(units), eng.hits)
+        tracker.set_rows(sink.rows_seen)
         tracker.write_sidecar(str(sidecar))
         if on_progress is not None:
             on_progress(tracker)
@@ -597,25 +708,26 @@ def run_campaign(
             fingerprint=fingerprint[:12],
             units=len(units),
         ):
-            outcomes, interrupted = execute_units(
-                spec,
-                units,
-                engine=eng,
-                completed=completed,
-                on_unit=journal_unit,
-                stop_after=stop_after,
-                artifacts_dir=out,
+            executed, interrupted = _drain(
+                iter_units(
+                    spec,
+                    units,
+                    engine=eng,
+                    skip=completed_ids,
+                    on_unit=journal_unit,
+                    stop_after=stop_after,
+                    artifacts_dir=out,
+                )
             )
     finally:
         if restore_heartbeat:
             eng.heartbeat = None
         if restore_progress:
             eng.progress = None
+        sink.close()
     wall = perf_counter() - start
     tracker.write_sidecar(str(sidecar))
 
-    from_journal = sum(1 for o in outcomes if o.from_journal)
-    executed = sum(1 for o in outcomes if not o.from_journal)
     if interrupted:
         return CampaignSummary(
             name=spec.name,
@@ -623,14 +735,14 @@ def run_campaign(
             total_units=len(units),
             from_journal=from_journal,
             executed=executed,
-            rows=sum(len(o.rows) for o in outcomes),
+            rows=sink.rows_seen,
             wall_s=wall,
             interrupted=True,
             csv_path=None,
         )
 
     csv_path = out / spec.csv_name
-    n_rows = _write_csv(csv_path, outcomes)
+    n_rows = sink.rows_written
 
     from repro.obs.manifest import CampaignManifest
 

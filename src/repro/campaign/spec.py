@@ -277,6 +277,9 @@ class CampaignSpec:
     stages: Tuple[Stage, ...]
     metrics: Tuple[str, ...]
     csv_name: str = "results.csv"
+    #: Optional JSONL mirror of the result rows (``output.jsonl``);
+    #: None means no mirror is written.
+    jsonl_name: Optional[str] = None
 
     def axis(self, name: str) -> Optional[Axis]:
         """The axis named ``name``, or None when it is not swept."""
@@ -318,6 +321,11 @@ class CampaignSpec:
             "metrics": list(self.metrics),
             "output": {"csv": self.csv_name},
         }
+        if self.jsonl_name is not None:
+            # Added only when set: the key's absence keeps fingerprints
+            # (and therefore existing journals) of csv-only campaigns
+            # stable across versions.
+            data["output"]["jsonl"] = self.jsonl_name
         if self.mix is not None:
             data["defaults"]["mix"] = [list(e) for e in self.mix]
         return data
@@ -722,6 +730,14 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
             f"{source}: output.csv must be a bare file name, "
             f"got {csv_name!r}"
         )
+    jsonl_name: Optional[str] = None
+    if output.get("jsonl") is not None:
+        jsonl_name = _get_str(output, "jsonl", "", f"{source}: output")
+        if "/" in jsonl_name or "\\" in jsonl_name or not jsonl_name:
+            raise SpecError(
+                f"{source}: output.jsonl must be a bare file name, "
+                f"got {jsonl_name!r}"
+            )
 
     return CampaignSpec(
         name=name,
@@ -738,6 +754,7 @@ def parse_spec(data: Any, source: str = "spec") -> CampaignSpec:
         stages=stages,
         metrics=metrics,
         csv_name=csv_name,
+        jsonl_name=jsonl_name,
     )
 
 

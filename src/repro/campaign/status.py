@@ -64,34 +64,51 @@ def campaign_progress(out_dir: Union[str, Path]) -> Dict[str, Any]:
     spec = load_campaign(out)
     units = expand_units(spec)
     journal = Journal.in_dir(out)
-    try:
-        _header, records = journal.load(
-            expect_fingerprint=spec.fingerprint()
-        )
-    except JournalError:
-        if journal.exists():
-            raise
-        records = []
 
     known = {unit.unit_id() for unit in units}
-    done_records = [r for r in records if r.unit_id in known]
-    done = len(done_records)
     total = len(units)
-    rows = sum(len(r.rows) for r in done_records)
-
     stage_total: Dict[str, int] = {}
     stage_done: Dict[str, int] = {}
     for unit in units:
         stage_total[unit.stage] = stage_total.get(unit.stage, 0) + 1
-    for record in done_records:
-        stage_done[record.stage] = stage_done.get(record.stage, 0) + 1
+
+    # One streaming pass over the journal — counters only, no record
+    # list.  ``top`` over a million-unit journal stays flat in memory.
+    done = 0
+    rows = 0
+    journal_wall = 0.0
+    try:
+        for record in journal.iter_records(
+            expect_fingerprint=spec.fingerprint()
+        ):
+            if record.unit_id not in known:
+                continue
+            done += 1
+            rows += len(record.rows)
+            journal_wall += record.wall_s
+            stage_done[record.stage] = (
+                stage_done.get(record.stage, 0) + 1
+            )
+    except JournalError:
+        if journal.exists():
+            raise
+        done = 0
+        rows = 0
+        journal_wall = 0.0
+        stage_done = {}
+
     stages = {
         name: {"done": stage_done.get(name, 0), "total": count}
         for name, count in stage_total.items()
     }
 
-    csv_path = out / spec.csv_name
-    state = "complete" if csv_path.exists() and done == total else (
+    # The CSV now exists (partially) *during* a run; the manifest —
+    # written only on a clean finish — is the completion marker.
+    manifest = out / "manifest.json"
+    finished = manifest.exists() or Path(
+        str(manifest) + ".gz"
+    ).exists()
+    state = "complete" if finished and done == total else (
         "resumable" if done < total else "finishing"
     )
 
@@ -101,7 +118,7 @@ def campaign_progress(out_dir: Union[str, Path]) -> Dict[str, Any]:
     rate: Optional[float] = None
     hit_rate: Optional[float] = None
     workers: Dict[str, Any] = {}
-    elapsed = sum(r.wall_s for r in done_records)
+    elapsed = journal_wall
     sidecar_fresh = False
     if sidecar is not None:
         age = sidecar.get("updated_at")

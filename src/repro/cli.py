@@ -1091,9 +1091,8 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
 @_campaign_errors
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.campaign import Journal, expand_units, load_campaign
+    from repro.campaign.sink import resolve_artifact
 
     if args.json:
         import json
@@ -1106,13 +1105,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     spec = load_campaign(args.dir)
     units = expand_units(spec)
     journal = Journal.in_dir(args.dir)
-    _header, records = journal.load(expect_fingerprint=spec.fingerprint())
     known = {unit.unit_id() for unit in units}
-    completed = sum(1 for record in records if record.unit_id in known)
-    csv_path = Path(args.dir) / spec.csv_name
+    # Stream the journal: counters only, rows never accumulate.
+    completed = 0
+    rows = 0
+    for record in journal.iter_records(
+        expect_fingerprint=spec.fingerprint()
+    ):
+        if record.unit_id in known:
+            completed += 1
+            rows += len(record.rows)
+    # The CSV is streamed during the run, so its existence no longer
+    # implies completion; the manifest is written only on clean finish.
+    from pathlib import Path
+
+    manifest = resolve_artifact(Path(args.dir) / "manifest.json")
     state = (
         "complete"
-        if csv_path.exists() and completed == len(units)
+        if manifest is not None and completed == len(units)
         else "resumable"
     )
     print(f"campaign '{spec.name}' ({state})")
@@ -1121,7 +1131,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     print(f"  fingerprint: {spec.fingerprint()}")
     print(
         f"  units: {completed}/{len(units)} completed, "
-        f"{sum(len(r.rows) for r in records)} rows journaled"
+        f"{rows} rows journaled"
     )
     if state == "resumable":
         print(f"  resume with: repro-bbr campaign resume {args.dir}")

@@ -379,6 +379,7 @@ class Engine:
         self.simulated = 0
         self.cache_errors = 0
         self.worker_failures = 0
+        self.close_errors = 0
         #: ``[{"wall_s", "fingerprint", "rows"}]`` for the slowest
         #: profiled points, descending by wall time.
         self.profiled: List[Dict] = []
@@ -401,8 +402,21 @@ class Engine:
     def __del__(self) -> None:  # pragma: no cover - GC timing
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError):
+            # Interpreter/pool teardown races: the executor's machinery
+            # may already be gone when the GC finalizes us.  Recoverable
+            # (the pool is dying anyway) — count it and move on.
+            self.close_errors += 1
+            try:
+                obs = self._resolve_obs()
+                if obs is not None:
+                    obs.count("exec.close_errors")
+            except Exception:
+                pass  # Telemetry must never mask finalization.
+        except Exception as exc:
+            raise RuntimeError(
+                f"Engine.close() failed during finalization: {exc}"
+            ) from exc
 
     def _pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -439,6 +453,7 @@ class Engine:
             "simulated": self.simulated,
             "cache_errors": self.cache_errors,
             "worker_failures": self.worker_failures,
+            "close_errors": self.close_errors,
         }
 
     def _notify(self) -> None:
@@ -756,7 +771,11 @@ class Engine:
                     outstanding, return_when=FIRST_COMPLETED
                 )
                 for future in ready:
-                    unit = futures[future]
+                    unit = futures.pop(future)
+                    # Dropping the future releases its pickled result;
+                    # keeping every completed future alive for the
+                    # whole batch made peak memory scale with batch
+                    # size instead of with in-flight work.
                     executed = future.result()
                     if len(unit) == 1:
                         executed = [executed]

@@ -441,7 +441,7 @@ def figure9(
     # Deferred: repro.campaign imports repro.experiments for the scale
     # presets, so the reverse edge must stay inside the function.
     from repro.campaign.expand import expand_units
-    from repro.campaign.run import execute_units
+    from repro.campaign.run import iter_units
     from repro.campaign.studies import fig9_campaign
 
     _check_scale(scale)
@@ -474,14 +474,19 @@ def figure9(
     fig.add("sync-bound", buffers, [p.n_cubic_sync for p in region])
     fig.add("desync-bound", buffers, [p.n_cubic_desync for p in region])
 
-    outcomes, _interrupted = execute_units(
-        spec, expand_units(spec), engine=engine
-    )
+    # Streamed: only the (x, y) floats survive each outcome, keyed by
+    # unit index so completion order cannot scramble the curve.
+    observed: Dict[int, List[Tuple[float, float]]] = {}
+    for outcome in iter_units(spec, expand_units(spec), engine=engine):
+        observed[outcome.index] = [
+            (row["buffer_bdp"], row["ne_incumbent"])
+            for row in outcome.rows
+        ]
     observed_x, observed_y = [], []
-    for outcome in outcomes:
-        for row in outcome.rows:
-            observed_x.append(row["buffer_bdp"])
-            observed_y.append(row["ne_incumbent"])
+    for index in sorted(observed):
+        for x, y in observed[index]:
+            observed_x.append(x)
+            observed_y.append(y)
     fig.add("observed-ne", observed_x, observed_y)
     return fig
 

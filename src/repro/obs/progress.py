@@ -129,6 +129,9 @@ class ProgressTracker:
         self.done = 0
         self.submitted = 0
         self.hits = 0
+        # Result rows streamed to disk so far (campaign sink feed) —
+        # a counter, never a buffer: the rows themselves are gone.
+        self.rows = 0
         # Engine point-level counters, distinct from done/submitted when
         # the tracked unit is coarser than a point (campaign units).
         self.points_done = 0
@@ -195,6 +198,11 @@ class ProgressTracker:
         """Attach per-stage done/total counts (campaign layer)."""
         with self._lock:
             self.stages[stage] = {"done": done, "total": total}
+
+    def set_rows(self, rows: int) -> None:
+        """Record the cumulative result-row count (campaign sink)."""
+        with self._lock:
+            self.rows = rows
 
     # -- derived -----------------------------------------------------------
 
@@ -264,6 +272,7 @@ class ProgressTracker:
                 "submitted": self.submitted,
                 "cache_hits": self.hits,
                 "hit_rate": self.hit_rate(),
+                "rows": self.rows,
                 "points_done": self.points_done,
                 "points_submitted": self.points_submitted,
                 "elapsed_s": self.elapsed_s,

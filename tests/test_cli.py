@@ -369,7 +369,8 @@ def test_campaign_run_resume_status_cycle(tmp_path, capsys):
     cache = tmp_path / "cache"
     argv_tail = ["--out", str(out_dir), "--cache-dir", str(cache)]
 
-    # Interrupt after 2 of 3 units: exit 3, journal present, no CSV.
+    # Interrupt after 2 of 3 units: exit 3, journal present, and the
+    # streamed partial CSV holds exactly the journaled units' rows.
     code = main(
         ["campaign", "run", str(spec), "--stop-after", "2", *argv_tail]
     )
@@ -377,7 +378,10 @@ def test_campaign_run_resume_status_cycle(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "resume with" in captured.out
     assert (out_dir / "journal.jsonl").exists()
-    assert not (out_dir / "results.csv").exists()
+    partial = (out_dir / "results.csv").read_text(encoding="utf-8")
+    lines = [line for line in partial.splitlines() if line]
+    assert len(lines) == 1 + 2  # header + one row per journaled unit
+    assert not (out_dir / "manifest.json").exists()
 
     assert main(["campaign", "status", str(out_dir)]) == 0
     status = capsys.readouterr().out

@@ -630,3 +630,29 @@ def test_chunked_batch_shares_duplicate_executions():
     assert results[:3] == results[3:]
     assert engine.simulated == 3
     assert engine.done == 6
+
+
+def test_del_swallows_recoverable_close_errors(monkeypatch):
+    """GC-time close races (pool already torn down) are counted, not
+    raised; anything unexpected escapes with context."""
+    engine = Engine(jobs=1)
+
+    def broken_close():
+        raise OSError("pool machinery already gone")
+
+    monkeypatch.setattr(engine, "close", broken_close)
+    engine.__del__()  # Must not raise.
+    assert engine.close_errors == 1
+    assert engine.stats["close_errors"] == 1
+
+
+def test_del_reraises_unexpected_close_errors(monkeypatch):
+    engine = Engine(jobs=1)
+
+    def broken_close():
+        raise ValueError("not a teardown race")
+
+    monkeypatch.setattr(engine, "close", broken_close)
+    with pytest.raises(RuntimeError, match="during finalization"):
+        engine.__del__()
+    assert engine.close_errors == 0

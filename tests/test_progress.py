@@ -153,6 +153,16 @@ def test_run_campaign_writes_progress_sidecar(tmp_path):
     assert data["done"] == 3 and data["total"] == 3
     assert data["label"] == "t"
     assert data["stages"]["stage0"] == {"done": 3, "total": 3}
+    # The sink's running row counter, not a retained-outcome sum.
+    assert data["rows"] == 3
+
+
+def test_tracker_set_rows_lands_in_snapshot():
+    tracker = ProgressTracker(total=2)
+    assert tracker.snapshot()["rows"] == 0
+    tracker.set_rows(17)
+    assert tracker.rows == 17
+    assert tracker.snapshot()["rows"] == 17
 
 
 def test_campaign_progress_complete_dir(tmp_path):
